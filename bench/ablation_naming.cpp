@@ -1,0 +1,69 @@
+// Ablation: what does the naming function actually buy at maintenance
+// time?  (DESIGN.md ablation index.)
+//
+// m-LIGHT stores bucket λ under f_md(λ); Theorem 5 then guarantees one
+// split child keeps the old key and never crosses the network.  The
+// identity-mapped alternative — a trie that stores each node under its
+// own label, i.e. exactly PHT's placement over the same interleaved-bit
+// geometry — must re-assign BOTH children at every split.  This bench
+// isolates the split traffic of the two placements on the same workload
+// and the same split threshold.
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "dht/network.h"
+#include "mlight/index.h"
+#include "pht/pht_index.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace mlight;
+  const auto args = bench::Args::parse(argc, argv);
+  const auto data = bench::experimentDataset(args, 20090401);
+
+  bench::banner("Ablation — naming function vs identity placement",
+                "split-time traffic only; both trees use the identical "
+                "kd/interleave geometry and theta=100");
+
+  dht::Network netA(args.peers, 1);
+  core::MLightConfig mc;
+  mc.thetaSplit = 100;
+  mc.thetaMerge = 50;
+  mc.maxEdgeDepth = 28;
+  core::MLightIndex ml(netA, mc);
+
+  dht::Network netB(args.peers, 1);
+  pht::PhtConfig pc;
+  pc.thetaSplit = 100;
+  pc.thetaMerge = 50;
+  pc.maxDepth = 28;
+  pht::PhtIndex identity(netB, pc);
+
+  for (const auto& r : data) {
+    ml.insert(r);
+    identity.insert(r);
+  }
+
+  const auto& a = ml.maintenanceBreakdown();
+  const auto& b = identity.maintenanceBreakdown();
+  std::printf("\n%-34s %16s %16s\n", "", "f_md placement",
+              "identity (PHT)");
+  std::printf("%-34s %16" PRIu64 " %16" PRIu64 "\n",
+              "buckets re-keyed at splits", a.splitBucketMoves,
+              b.splitBucketMoves);
+  std::printf("%-34s %16" PRIu64 " %16" PRIu64 "\n",
+              "split children kept in place", a.splitStayLocal,
+              b.splitStayLocal);
+  std::printf("%-34s %16" PRIu64 " %16" PRIu64 "\n",
+              "bucket bytes shipped at splits", a.splitShipBytes,
+              b.splitShipBytes);
+  std::printf("%-34s %16" PRIu64 " %16" PRIu64 "\n",
+              "record bytes shipped at inserts", a.insertShipBytes,
+              b.insertShipBytes);
+  std::printf(
+      "\nsplit traffic ratio (f_md / identity): %.2f   "
+      "(Theorem 5 predicts about 0.5)\n",
+      static_cast<double>(a.splitShipBytes) /
+          static_cast<double>(b.splitShipBytes));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared utilities for the figure-reproduction benchmark binaries.
+//
+// Each binary regenerates one figure of the paper's §7 evaluation and
+// prints the series as an aligned text table (plus a CSV block for
+// plotting).  All binaries accept:
+//   --records N   dataset size (default: the paper's 123,593)
+//   --peers P     DHT size (default 128, paper: "more than one hundred")
+//   --queries Q   queries per configuration point (query benches)
+//   --quick       1/10th-scale smoke run (used by CI-style checks)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/datasets.h"
+
+namespace mlight::bench {
+
+struct Args {
+  std::size_t records = 123593;  // paper's NE dataset size
+  std::size_t peers = 128;
+  std::size_t queries = 20;
+  bool quick = false;
+  /// Optional path to a real points file (e.g. the rtreeportal.org NE
+  /// dataset); when set, benches load it instead of the synthetic NE.
+  std::string dataset;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::size_t {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", a.c_str());
+          std::exit(2);
+        }
+        return static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      };
+      if (a == "--records") {
+        args.records = next();
+      } else if (a == "--dataset") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for --dataset\n");
+          std::exit(2);
+        }
+        args.dataset = argv[++i];
+      } else if (a == "--peers") {
+        args.peers = next();
+      } else if (a == "--queries") {
+        args.queries = next();
+      } else if (a == "--quick") {
+        args.quick = true;
+      } else if (a == "--help" || a == "-h") {
+        std::printf(
+            "usage: %s [--records N] [--peers P] [--queries Q] [--quick] "
+            "[--dataset FILE]\n",
+            argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+    if (args.quick) {
+      args.records /= 10;
+      args.queries = args.queries > 5 ? 5 : args.queries;
+    }
+    return args;
+  }
+};
+
+/// The 2-D experiment dataset: the real file when --dataset was given,
+/// otherwise the synthetic NE stand-in at the requested size.
+inline std::vector<mlight::index::Record> experimentDataset(
+    const Args& args, std::uint64_t seed) {
+  if (!args.dataset.empty()) {
+    auto data = mlight::workload::loadPointsFile(args.dataset, 2);
+    if (args.quick && data.size() > args.records) {
+      data.resize(args.records);
+    }
+    std::fprintf(stderr, "loaded %zu points from %s\n", data.size(),
+                 args.dataset.c_str());
+    return data;
+  }
+  return mlight::workload::northeastDataset(args.records, seed);
+}
+
+/// Prints a horizontal rule sized to the table width.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void banner(const char* title, const char* paperRef) {
+  std::printf("\n");
+  rule(78);
+  std::printf("%s\n%s\n", title, paperRef);
+  rule(78);
+}
+
+}  // namespace mlight::bench

@@ -1,0 +1,160 @@
+// Reproduces Fig. 7 of the paper: range query performance.
+//
+//   Fig 7a: bandwidth (number of DHT-lookups) vs range span
+//   Fig 7b: latency (rounds of DHT-lookups) vs range span
+//
+// Five curves, as in §7.4: m-LIGHT basic, m-LIGHT parallel-2, m-LIGHT
+// parallel-4, PHT, and DST.  Queried ranges are uniformly placed squares
+// whose *span* (area) sweeps 0.05..0.6; D = 28 throughout — deliberately
+// larger than the real tree depth, which is what shatters DST's
+// decomposition.  Expected shapes: DST an order of magnitude above the
+// others in bandwidth and exploding in latency at large spans; m-LIGHT
+// basic cheapest in bandwidth; parallel-2/4 trade bandwidth for latency.
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "dht/network.h"
+#include "dst/dst_index.h"
+#include "mlight/index.h"
+#include "pht/pht_index.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace mlight;
+
+struct CurvePoint {
+  double lookups = 0.0;  // mean per query
+  double rounds = 0.0;   // mean per query
+  double ms = 0.0;       // mean simulated wall latency per query
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const auto data = bench::experimentDataset(args, 20090401);
+
+  bench::banner("Fig 7 — range query performance",
+                "m-LIGHT (ICDCS'09) §7.4: uniformly placed square ranges, "
+                "span = area, theta=100, D=28, 5 schemes");
+
+  dht::Network net(args.peers, 1);
+  core::MLightConfig mc;
+  mc.thetaSplit = 100;
+  mc.thetaMerge = 50;
+  mc.maxEdgeDepth = 28;
+  core::MLightIndex ml(net, mc);
+  pht::PhtConfig pc;
+  pc.thetaSplit = 100;
+  pc.thetaMerge = 50;
+  pc.maxDepth = 28;
+  pht::PhtIndex ph(net, pc);
+  dst::DstConfig dc;
+  dc.maxDepth = 28;
+  dc.gamma = 100;
+  dst::DstIndex ds(net, dc);
+
+  std::fprintf(stderr, "loading %zu records into 3 indexes...\n",
+               data.size());
+  for (const auto& r : data) {
+    ml.insert(r);
+    ph.insert(r);
+    ds.insert(r);
+  }
+
+  const double spans[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const char* curves[] = {"mLIGHT-basic", "mLIGHT-par2", "mLIGHT-par4",
+                          "PHT", "DST"};
+  std::vector<std::vector<CurvePoint>> table(
+      std::size(spans), std::vector<CurvePoint>(std::size(curves)));
+
+  for (std::size_t s = 0; s < std::size(spans); ++s) {
+    const auto queries = workload::uniformRangeQueries(
+        args.queries, 2, spans[s], 7000 + static_cast<std::uint64_t>(s));
+    std::fprintf(stderr, "span %.2f (%zu queries)...\n", spans[s],
+                 queries.size());
+    for (const auto& q : queries) {
+      std::size_t want = 0;
+      for (std::size_t curve = 0; curve < std::size(curves); ++curve) {
+        index::RangeResult res;
+        switch (curve) {
+          case 0:
+            ml.setLookahead(1);
+            res = ml.rangeQuery(q);
+            want = res.records.size();  // cross-check the other schemes
+            break;
+          case 1:
+            ml.setLookahead(2);
+            res = ml.rangeQuery(q);
+            break;
+          case 2:
+            ml.setLookahead(4);
+            res = ml.rangeQuery(q);
+            break;
+          case 3:
+            res = ph.rangeQuery(q);
+            break;
+          case 4:
+            res = ds.rangeQuery(q);
+            break;
+        }
+        if (curve != 0 && res.records.size() != want) {
+          std::fprintf(stderr, "RESULT MISMATCH on %s: %zu vs %zu\n",
+                       curves[curve], res.records.size(), want);
+          return 1;
+        }
+        table[s][curve].lookups +=
+            static_cast<double>(res.stats.cost.lookups);
+        table[s][curve].rounds += static_cast<double>(res.stats.rounds);
+        table[s][curve].ms += res.stats.latencyMs;
+      }
+    }
+    for (auto& point : table[s]) {
+      point.lookups /= static_cast<double>(queries.size());
+      point.rounds /= static_cast<double>(queries.size());
+      point.ms /= static_cast<double>(queries.size());
+    }
+  }
+
+  std::printf("\nFig 7a: bandwidth (# of DHT-lookups per query, mean)\n");
+  std::printf("%6s", "span");
+  for (const char* c : curves) std::printf(" %13s", c);
+  std::printf("\n");
+  for (std::size_t s = 0; s < std::size(spans); ++s) {
+    std::printf("%6.2f", spans[s]);
+    for (std::size_t c = 0; c < std::size(curves); ++c) {
+      std::printf(" %13.1f", table[s][c].lookups);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFig 7b: latency (rounds of DHT-lookups per query, mean)\n");
+  std::printf("%6s", "span");
+  for (const char* c : curves) std::printf(" %13s", c);
+  std::printf("\n");
+  for (std::size_t s = 0; s < std::size(spans); ++s) {
+    std::printf("%6.2f", spans[s]);
+    for (std::size_t c = 0; c < std::size(curves); ++c) {
+      std::printf(" %13.2f", table[s][c].rounds);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nFig 7b': simulated wall latency (ms per query, mean; 10-100 ms "
+      "links,\n1 ms/message sender serialization — this is where DST's "
+      "fan-out becomes latency)\n");
+  std::printf("%6s", "span");
+  for (const char* c : curves) std::printf(" %13s", c);
+  std::printf("\n");
+  for (std::size_t s = 0; s < std::size(spans); ++s) {
+    std::printf("%6.2f", spans[s]);
+    for (std::size_t c = 0; c < std::size(curves); ++c) {
+      std::printf(" %13.1f", table[s][c].ms);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

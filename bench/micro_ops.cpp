@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark) for the hot primitives underneath
+// the figure harnesses: the naming function, bit interleaving, Algorithm 1
+// planning, SHA-1 key hashing, and overlay routing.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/sha1.h"
+#include "common/zorder.h"
+#include "dht/network.h"
+#include "mlight/index.h"
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+#include "mlight/split.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace mlight;
+
+void BM_NamingFunction(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  std::vector<common::BitString> labels;
+  for (int i = 0; i < 256; ++i) {
+    common::BitString label = core::rootLabel(dims);
+    const std::size_t depth = 1 + rng.below(28);
+    for (std::size_t d = 0; d < depth; ++d) label.pushBack(rng.chance(0.5));
+    labels.push_back(label);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::naming(labels[i++ % labels.size()], dims));
+  }
+}
+BENCHMARK(BM_NamingFunction)->Arg(2)->Arg(4);
+
+void BM_Interleave(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(2);
+  common::Point p(dims);
+  for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::interleave(p, 28));
+  }
+}
+BENCHMARK(BM_Interleave)->Arg(2)->Arg(4);
+
+void BM_LabelRegion(benchmark::State& state) {
+  common::Rng rng(3);
+  common::BitString label = core::rootLabel(2);
+  for (int d = 0; d < 24; ++d) label.pushBack(rng.chance(0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::labelRegion(label, 2));
+  }
+}
+BENCHMARK(BM_LabelRegion);
+
+void BM_Sha1Key(benchmark::State& state) {
+  std::string key = "mlight/001011010111001";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::sha1(key));
+  }
+}
+BENCHMARK(BM_Sha1Key);
+
+void BM_DataAwarePlan(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  auto data = workload::clusteredDataset(records, 2, 3, 0.05, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::planDataAwareSplit(
+        core::rootLabel(2), common::Rect::unit(2), data, 70.0, 2, 28));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_DataAwarePlan)->Arg(128)->Arg(512)->Arg(2048)->Complexity();
+
+void BM_OverlayRouting(benchmark::State& state) {
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  dht::Network net(peers, 5);
+  common::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.lookup(net.peers()[rng.below(peers)], dht::RingId{rng.next()}));
+  }
+}
+BENCHMARK(BM_OverlayRouting)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MLightInsert(benchmark::State& state) {
+  dht::Network net(128, 7);
+  core::MLightConfig cfg;
+  cfg.thetaSplit = 100;
+  cfg.thetaMerge = 50;
+  core::MLightIndex idx(net, cfg);
+  auto data = workload::northeastDataset(200000, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    idx.insert(data[i++ % data.size()]);
+  }
+}
+BENCHMARK(BM_MLightInsert);
+
+void BM_MLightRangeQuery(benchmark::State& state) {
+  dht::Network net(128, 9);
+  core::MLightConfig cfg;
+  cfg.thetaSplit = 100;
+  cfg.thetaMerge = 50;
+  core::MLightIndex idx(net, cfg);
+  for (const auto& r : workload::northeastDataset(20000, 10)) idx.insert(r);
+  const auto queries = workload::uniformRangeQueries(64, 2, 0.05, 11);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.rangeQuery(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_MLightRangeQuery);
+
+void BM_MLightKnnQuery(benchmark::State& state) {
+  dht::Network net(128, 9);
+  core::MLightConfig cfg;
+  cfg.thetaSplit = 100;
+  cfg.thetaMerge = 50;
+  core::MLightIndex idx(net, cfg);
+  for (const auto& r : workload::northeastDataset(20000, 10)) idx.insert(r);
+  common::Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        idx.knnQuery(common::Point{rng.uniform(), rng.uniform()},
+                     static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MLightKnnQuery)->Arg(1)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,242 @@
+// Interactive shell around a simulated m-LIGHT deployment.
+//
+//   $ ./build/examples/mlight_shell
+//   mlight> insert 0.3 0.7 pizza-place
+//   mlight> range 0.2 0.6 0.4 0.8
+//   mlight> knn 0.31 0.69 3
+//   mlight> churn leave
+//   mlight> stats
+//
+// Commands read from stdin (pipe a script for repeatable sessions):
+//   insert <x> <y> [payload]       add a record
+//   erase <id>                     remove a record by id
+//   point <x> <y>                  exact-match query
+//   range <x0> <y0> <x1> <y1>      range query
+//   knn <x> <y> <k>                k nearest neighbours
+//   lookup <x> <y>                 show the covering leaf bucket
+//   churn join|leave|crash         membership events
+//   stats                          index and overlay statistics
+//   help / quit
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "dht/network.h"
+#include "mlight/index.h"
+
+namespace {
+
+using namespace mlight;
+
+void printHelp() {
+  std::printf(
+      "commands:\n"
+      "  insert <x> <y> [payload]   range <x0> <y0> <x1> <y1>\n"
+      "  erase <id>                 knn <x> <y> <k>\n"
+      "  point <x> <y>              lookup <x> <y>\n"
+      "  churn join|leave|crash     stats\n"
+      "  trace on|off               help / quit\n");
+}
+
+}  // namespace
+
+int main() {
+  dht::Network net(128, 1, /*vnodesPerPeer=*/4);
+  core::MLightConfig cfg;
+  cfg.thetaSplit = 8;  // small threshold so interactive use shows splits
+  cfg.thetaMerge = 4;
+  cfg.replication = 2;  // crashes are survivable in the shell
+  core::MLightIndex index(net, cfg);
+  common::Rng rng(2026);
+  std::uint64_t nextId = 0;
+  std::map<std::uint64_t, common::Point> byId;
+  std::size_t churnSerial = 0;
+
+  std::printf("m-LIGHT shell — %zu peers, theta_split=%zu, replication=%zu\n",
+              net.livePhysicalCount(), cfg.thetaSplit, cfg.replication);
+  printHelp();
+
+  std::vector<core::MLightIndex::TraceEvent> trace;
+  bool tracing = false;
+  const auto dumpTrace = [&] {
+    if (!tracing || trace.empty()) return;
+    std::printf("  trace (%zu probes):\n", trace.size());
+    for (const auto& event : trace) {
+      std::printf("    round %zu  key %-14s -> %s\n", event.round,
+                  event.key.toString().c_str(),
+                  event.hit ? event.foundLeaf.toString().c_str() : "NULL");
+    }
+    trace.clear();
+  };
+
+  std::string line;
+  while (std::printf("mlight> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        printHelp();
+      } else if (cmd == "insert") {
+        double x;
+        double y;
+        std::string payload;
+        if (!(in >> x >> y)) {
+          std::printf("usage: insert <x> <y> [payload]\n");
+          continue;
+        }
+        std::getline(in, payload);
+        if (!payload.empty() && payload[0] == ' ') payload.erase(0, 1);
+        index::Record r;
+        r.key = common::Point{x, y};
+        r.id = nextId++;
+        r.payload = payload.empty() ? "record-" + std::to_string(r.id)
+                                    : payload;
+        index.insert(r);
+        byId[r.id] = r.key;
+        std::printf("inserted id=%" PRIu64 " (%zu records, %zu buckets)\n",
+                    r.id, index.size(), index.bucketCount());
+      } else if (cmd == "erase") {
+        std::uint64_t id;
+        if (!(in >> id)) {
+          std::printf("usage: erase <id>\n");
+          continue;
+        }
+        const auto it = byId.find(id);
+        if (it == byId.end()) {
+          std::printf("unknown id %" PRIu64 "\n", id);
+          continue;
+        }
+        const auto removed = index.erase(it->second, id);
+        byId.erase(it);
+        std::printf("erased %zu record(s)\n", removed);
+      } else if (cmd == "point") {
+        double x;
+        double y;
+        if (!(in >> x >> y)) {
+          std::printf("usage: point <x> <y>\n");
+          continue;
+        }
+        const auto res = index.pointQuery(common::Point{x, y});
+        std::printf("%zu hit(s), %" PRIu64 " lookups, %.0f ms\n",
+                    res.records.size(), res.stats.cost.lookups,
+                    res.stats.latencyMs);
+        for (const auto& r : res.records) {
+          std::printf("  id=%" PRIu64 "  %s\n", r.id, r.payload.c_str());
+        }
+        dumpTrace();
+      } else if (cmd == "range") {
+        double x0;
+        double y0;
+        double x1;
+        double y1;
+        if (!(in >> x0 >> y0 >> x1 >> y1)) {
+          std::printf("usage: range <x0> <y0> <x1> <y1>\n");
+          continue;
+        }
+        const auto res = index.rangeQuery(
+            common::Rect(common::Point{x0, y0}, common::Point{x1, y1}));
+        std::printf("%zu hit(s), %" PRIu64 " lookups over %zu rounds, "
+                    "%.0f ms\n",
+                    res.records.size(), res.stats.cost.lookups,
+                    res.stats.rounds, res.stats.latencyMs);
+        std::size_t shown = 0;
+        for (const auto& r : res.records) {
+          if (++shown > 10) {
+            std::printf("  ... %zu more\n", res.records.size() - 10);
+            break;
+          }
+          std::printf("  id=%-6" PRIu64 " %s  %s\n", r.id,
+                      r.key.toString().c_str(), r.payload.c_str());
+        }
+        dumpTrace();
+      } else if (cmd == "knn") {
+        double x;
+        double y;
+        std::size_t k;
+        if (!(in >> x >> y >> k)) {
+          std::printf("usage: knn <x> <y> <k>\n");
+          continue;
+        }
+        const auto res = index.knnQuery(common::Point{x, y}, k);
+        std::printf("%zu neighbour(s), %" PRIu64 " lookups\n",
+                    res.records.size(), res.stats.cost.lookups);
+        for (const auto& r : res.records) {
+          std::printf("  id=%-6" PRIu64 " %s  %s\n", r.id,
+                      r.key.toString().c_str(), r.payload.c_str());
+        }
+      } else if (cmd == "lookup") {
+        double x;
+        double y;
+        if (!(in >> x >> y)) {
+          std::printf("usage: lookup <x> <y>\n");
+          continue;
+        }
+        const auto res = index.lookup(common::Point{x, y});
+        std::printf("leaf %s (%" PRIu64 " probes)\n",
+                    res.leaf.toString().c_str(), res.stats.cost.lookups);
+        dumpTrace();
+      } else if (cmd == "trace") {
+        std::string mode;
+        in >> mode;
+        if (mode == "on") {
+          tracing = true;
+          index.setTracer(&trace);
+          std::printf("probe tracing on\n");
+        } else if (mode == "off") {
+          tracing = false;
+          index.setTracer(nullptr);
+          trace.clear();
+          std::printf("probe tracing off\n");
+        } else {
+          std::printf("usage: trace on|off\n");
+        }
+      } else if (cmd == "churn") {
+        std::string kind;
+        in >> kind;
+        if (kind == "join") {
+          net.addPeer("shell-joiner-" + std::to_string(churnSerial++));
+          std::printf("peer joined (%zu peers)\n", net.livePhysicalCount());
+        } else if (kind == "leave") {
+          net.removePeer(net.peers()[rng.below(net.peerCount())]);
+          std::printf("peer left gracefully (%zu peers)\n",
+                      net.livePhysicalCount());
+        } else if (kind == "crash") {
+          net.crashPeer(net.peers()[rng.below(net.peerCount())]);
+          std::printf("peer crashed (%zu peers, %zu buckets lost)\n",
+                      net.livePhysicalCount(), index.store().lostBuckets());
+        } else {
+          std::printf("usage: churn join|leave|crash\n");
+        }
+      } else if (cmd == "stats") {
+        const auto& total = net.totalCost();
+        std::printf("records: %zu   buckets: %zu (%zu empty)   depth: %zu\n",
+                    index.size(), index.bucketCount(),
+                    index.emptyBucketCount(), index.treeDepth());
+        std::printf("overlay: %zu peers, %zu ring positions, max hops %zu\n",
+                    net.livePhysicalCount(), net.peerCount(),
+                    net.maxHopsSeen());
+        std::printf("lifetime: %" PRIu64 " DHT-lookups, %" PRIu64
+                    " bytes moved, %zu buckets lost to crashes\n",
+                    total.lookups, total.bytesMoved,
+                    index.store().lostBuckets());
+        index.checkInvariants();
+        std::printf("invariants: ok\n");
+      } else {
+        std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

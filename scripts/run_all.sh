@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every benchmark at
+# paper scale, teeing outputs into the repo root (the files EXPERIMENTS.md
+# cites).  Pass --quick to propagate the 1/10-scale flag to the benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "===== $b $QUICK"
+    case "$b" in
+      *micro_ops) "$b" ;;  # google-benchmark rejects foreign flags
+      *) "$b" $QUICK ;;
+    esac
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,138 @@
+#include "common/bitstring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mlight::common {
+
+BitString BitString::fromString(std::string_view text) {
+  BitString out;
+  for (char c : text) {
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitString::fromString: invalid char");
+    }
+    out.pushBack(c == '1');
+  }
+  return out;
+}
+
+BitString BitString::repeated(bool bitValue, std::size_t count) {
+  BitString out;
+  out.size_ = count;
+  out.words_.assign((count + kWordBits - 1) / kWordBits,
+                    bitValue ? ~std::uint64_t{0} : 0);
+  if (bitValue && count % kWordBits != 0) {
+    out.words_.back() &= (std::uint64_t{1} << (count % kWordBits)) - 1;
+  }
+  return out;
+}
+
+bool BitString::bit(std::size_t i) const noexcept {
+  assert(i < size_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitString::pushBack(bool b) {
+  if (size_ % kWordBits == 0) words_.push_back(0);
+  if (b) words_[size_ / kWordBits] |= std::uint64_t{1} << (size_ % kWordBits);
+  ++size_;
+}
+
+void BitString::popBack() noexcept {
+  assert(size_ > 0);
+  --size_;
+  words_[size_ / kWordBits] &=
+      ~(std::uint64_t{1} << (size_ % kWordBits));
+  if (size_ % kWordBits == 0) words_.pop_back();
+}
+
+void BitString::setBit(std::size_t i, bool b) noexcept {
+  assert(i < size_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (b) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+BitString BitString::withBack(bool b) const {
+  BitString out = *this;
+  out.pushBack(b);
+  return out;
+}
+
+BitString BitString::prefix(std::size_t n) const {
+  assert(n <= size_);
+  BitString out;
+  out.size_ = n;
+  out.words_.assign(words_.begin(),
+                    words_.begin() + static_cast<std::ptrdiff_t>(
+                                         (n + kWordBits - 1) / kWordBits));
+  if (n % kWordBits != 0) {
+    out.words_.back() &= (std::uint64_t{1} << (n % kWordBits)) - 1;
+  }
+  return out;
+}
+
+bool BitString::isPrefixOf(const BitString& other) const noexcept {
+  if (size_ > other.size_) return false;
+  const std::size_t fullWords = size_ / kWordBits;
+  for (std::size_t w = 0; w < fullWords; ++w) {
+    if (words_[w] != other.words_[w]) return false;
+  }
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    if ((words_[fullWords] & mask) != (other.words_[fullWords] & mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BitString BitString::sibling() const {
+  assert(size_ > 0);
+  BitString out = *this;
+  out.setBit(size_ - 1, !out.bit(size_ - 1));
+  return out;
+}
+
+void BitString::append(const BitString& tail) {
+  for (std::size_t i = 0; i < tail.size(); ++i) pushBack(tail.bit(i));
+}
+
+std::string BitString::toString() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+std::uint64_t BitString::hash64() const noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(size_);
+  for (std::uint64_t w : words_) mix(w);
+  return h;
+}
+
+std::strong_ordering BitString::operator<=>(
+    const BitString& other) const noexcept {
+  const std::size_t common = std::min(size_, other.size_);
+  for (std::size_t i = 0; i < common; ++i) {
+    const bool a = bit(i);
+    const bool b = other.bit(i);
+    if (a != b) return a ? std::strong_ordering::greater
+                         : std::strong_ordering::less;
+  }
+  return size_ <=> other.size_;
+}
+
+}  // namespace mlight::common

@@ -1,0 +1,114 @@
+// BitString: an arbitrary-length, value-semantic string of bits.
+//
+// Labels in m-LIGHT (and trie prefixes in PHT, quad-cell paths in DST) are
+// binary strings whose length matters and whose tail is manipulated bit by
+// bit (append a child edge, truncate during the naming function, invert the
+// last bit to reach a sibling).  BitString packs bits into 64-bit words and
+// supports exactly those operations, plus ordering/hashing so it can key
+// standard containers, and a compact binary serialization.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlight::common {
+
+class BitString {
+ public:
+  BitString() = default;
+
+  BitString(const BitString&) = default;
+  BitString& operator=(const BitString&) = default;
+  /// Moves leave the source empty (not merely "valid but unspecified"):
+  /// labels are shuffled around aggressively during splits/merges and a
+  /// half-moved state (words gone, size kept) would be a trap.
+  BitString(BitString&& other) noexcept
+      : words_(std::move(other.words_)), size_(other.size_) {
+    other.size_ = 0;
+    other.words_.clear();
+  }
+  BitString& operator=(BitString&& other) noexcept {
+    words_ = std::move(other.words_);
+    size_ = other.size_;
+    other.size_ = 0;
+    other.words_.clear();
+    return *this;
+  }
+
+  /// Builds from a textual form such as "00101".  Characters other than
+  /// '0'/'1' are rejected (throws std::invalid_argument).
+  static BitString fromString(std::string_view text);
+
+  /// A run of `count` copies of `bit`.
+  static BitString repeated(bool bit, std::size_t count);
+
+  /// Number of bits.
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Bit at position `i` (0-based from the front).  Precondition: i < size().
+  bool bit(std::size_t i) const noexcept;
+
+  /// Last bit.  Precondition: !empty().
+  bool back() const noexcept { return bit(size_ - 1); }
+
+  /// Appends one bit at the back.
+  void pushBack(bool b);
+
+  /// Removes the last bit.  Precondition: !empty().
+  void popBack() noexcept;
+
+  /// Sets bit `i`.  Precondition: i < size().
+  void setBit(std::size_t i, bool b) noexcept;
+
+  /// Returns *this with `b` appended (non-mutating convenience).
+  BitString withBack(bool b) const;
+
+  /// First `n` bits.  Precondition: n <= size().
+  BitString prefix(std::size_t n) const;
+
+  /// True iff *this is a (non-strict) prefix of `other`.
+  bool isPrefixOf(const BitString& other) const noexcept;
+
+  /// Returns a copy with the last bit inverted — the label of the sibling
+  /// node in a binary tree.  Precondition: !empty().
+  BitString sibling() const;
+
+  /// Appends all bits of `tail` at the back.
+  void append(const BitString& tail);
+
+  /// Textual form, e.g. "00101".
+  std::string toString() const;
+
+  /// Packed little-endian words (tail bits beyond size() are zero).  Useful
+  /// for hashing into DHT key space.
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Stable 64-bit hash of the contents (FNV-1a over words and length).
+  std::uint64_t hash64() const noexcept;
+
+  friend bool operator==(const BitString& a, const BitString& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Lexicographic by bits; a proper prefix orders before its extensions.
+  std::strong_ordering operator<=>(const BitString& other) const noexcept;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+struct BitStringHash {
+  std::size_t operator()(const BitString& b) const noexcept {
+    return static_cast<std::size_t>(b.hash64());
+  }
+};
+
+}  // namespace mlight::common

@@ -1,0 +1,33 @@
+// Always-on invariant checks.
+//
+// The theorem-level invariants of m-LIGHT (naming bijection, incremental
+// split, space tiling) are cheap relative to the operations that exercise
+// them and guard distributed-state correctness, so they stay active in
+// release builds; use plain assert() only on hot per-record paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlight::common {
+
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  throw CheckFailure(std::string(file) + ":" + std::to_string(line) +
+                     ": check failed: " + expr +
+                     (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace mlight::common
+
+#define MLIGHT_CHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mlight::common::checkFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in this repository must be reproducible bit-for-bit, so
+// all randomness flows through this self-contained xoshiro256** generator
+// (seeded via splitmix64) instead of std::mt19937 whose distributions are
+// not portable across standard libraries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace mlight::common {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded with splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+    cachedGaussianValid_ = false;
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept {
+    auto rotl = [](std::uint64_t v, int s) {
+      return (v << s) | (v >> (64 - s));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound).  Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift with rejection for unbiased results.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double gaussian() noexcept {
+    if (cachedGaussianValid_) {
+      cachedGaussianValid_ = false;
+      return cachedGaussian_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    cachedGaussianValid_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli(p).
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4]{};
+  double cachedGaussian_ = 0.0;
+  bool cachedGaussianValid_ = false;
+};
+
+}  // namespace mlight::common

@@ -1,0 +1,154 @@
+#include "common/sha1.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mlight::common {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t v, int s) noexcept {
+  return std::rotl(v, s);
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  totalBytes_ = 0;
+  bufferLen_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  totalBytes_ += data.size();
+  std::size_t offset = 0;
+  if (bufferLen_ != 0) {
+    const std::size_t take = std::min(data.size(), 64 - bufferLen_);
+    std::memcpy(buffer_.data() + bufferLen_, data.data(), take);
+    bufferLen_ += take;
+    offset += take;
+    if (bufferLen_ == 64) {
+      processBlock(buffer_.data());
+      bufferLen_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    processBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    bufferLen_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, bufferLen_);
+  }
+}
+
+void Sha1::update(std::string_view text) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bitLen = totalBytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (bufferLen_ != 56) {
+    // update() adjusts totalBytes_, but length was latched above.
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::array<std::uint8_t, 8> lenBytes{};
+  for (int i = 0; i < 8; ++i) {
+    lenBytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bitLen >> (56 - 8 * i));
+  }
+  update(lenBytes);
+
+  Sha1Digest digest{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    digest[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+void Sha1::processBlock(const std::uint8_t* block) noexcept {
+  std::array<std::uint32_t, 80> w{};
+  for (std::size_t t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (std::size_t t = 16; t < 80; ++t) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (std::size_t t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1Digest sha1(std::span<const std::uint8_t> data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha1Digest sha1(std::string_view text) noexcept {
+  Sha1 h;
+  h.update(text);
+  return h.finish();
+}
+
+std::string toHex(const Sha1Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0f]);
+  }
+  return out;
+}
+
+std::uint64_t digestPrefix64(const Sha1Digest& digest) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | digest[i];
+  return v;
+}
+
+}  // namespace mlight::common

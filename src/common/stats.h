@@ -1,0 +1,57 @@
+// Streaming statistics used by the load-balance and query-cost experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mlight::common {
+
+/// Welford's online mean/variance.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Population variance (the paper reports variance of per-peer load over
+  /// all peers, which is a population, not a sample).
+  double variance() const noexcept {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile over a materialized sample (nearest-rank).
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto loIdx = static_cast<std::size_t>(rank);
+  const std::size_t hiIdx = std::min(loIdx + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(loIdx);
+  return values[loIdx] * (1.0 - frac) + values[hiIdx] * frac;
+}
+
+}  // namespace mlight::common

@@ -1,0 +1,63 @@
+#include "common/zorder.h"
+
+#include <array>
+#include <cassert>
+
+namespace mlight::common {
+
+BitString interleave(const Point& p, std::size_t depth) {
+  const std::size_t m = p.dims();
+  assert(m >= 1);
+  // Track the live interval of each dimension as we halve; numerically
+  // identical to reading fractional bits but robust at cell boundaries.
+  std::array<double, kMaxDims> lo{};
+  std::array<double, kMaxDims> hi{};
+  for (std::size_t i = 0; i < m; ++i) {
+    lo[i] = 0.0;
+    hi[i] = 1.0;
+  }
+  BitString out;
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::size_t dim = dimensionAtDepth(d, m);
+    const double mid = 0.5 * (lo[dim] + hi[dim]);
+    const bool upper = p[dim] >= mid;
+    out.pushBack(upper);
+    if (upper) {
+      lo[dim] = mid;
+    } else {
+      hi[dim] = mid;
+    }
+  }
+  return out;
+}
+
+Rect cellOfPath(const BitString& path, std::size_t dims) {
+  Rect cell = Rect::unit(dims);
+  for (std::size_t d = 0; d < path.size(); ++d) {
+    cell = cell.halved(dimensionAtDepth(d, dims), path.bit(d));
+  }
+  return cell;
+}
+
+BitString lowestCoveringPath(const Rect& r, std::size_t dims,
+                             std::size_t maxDepth) {
+  BitString path;
+  Rect cell = Rect::unit(dims);
+  for (std::size_t d = 0; d < maxDepth; ++d) {
+    const std::size_t dim = dimensionAtDepth(d, dims);
+    const Rect lower = cell.halved(dim, false);
+    const Rect upper = cell.halved(dim, true);
+    if (lower.containsRect(r)) {
+      path.pushBack(false);
+      cell = lower;
+    } else if (upper.containsRect(r)) {
+      path.pushBack(true);
+      cell = upper;
+    } else {
+      break;
+    }
+  }
+  return path;
+}
+
+}  // namespace mlight::common

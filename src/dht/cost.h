@@ -1,0 +1,42 @@
+// Cost accounting for the simulated DHT.
+//
+// The paper's metrics are counts, not wall-clock times: number of
+// DHT-lookups (bandwidth), rounds of DHT-lookups (latency), and amount of
+// data moved (maintenance).  Every routed operation reports into the
+// CostMeter installed on the network; callers scope meters around the
+// operation groups they want to measure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mlight::dht {
+
+struct CostMeter {
+  /// Routed key resolutions ("DHT-lookup" in the paper).
+  std::uint64_t lookups = 0;
+  /// Overlay hops taken by all lookups (finger routing).
+  std::uint64_t hops = 0;
+  /// Payload bytes shipped between *distinct* peers.
+  std::uint64_t bytesMoved = 0;
+  /// Data records shipped between distinct peers.
+  std::uint64_t recordsMoved = 0;
+
+  CostMeter& operator+=(const CostMeter& other) noexcept {
+    lookups += other.lookups;
+    hops += other.hops;
+    bytesMoved += other.bytesMoved;
+    recordsMoved += other.recordsMoved;
+    return *this;
+  }
+
+  friend CostMeter operator-(CostMeter a, const CostMeter& b) noexcept {
+    a.lookups -= b.lookups;
+    a.hops -= b.hops;
+    a.bytesMoved -= b.bytesMoved;
+    a.recordsMoved -= b.recordsMoved;
+    return a;
+  }
+};
+
+}  // namespace mlight::dht

@@ -1,0 +1,207 @@
+#include "dht/network.h"
+
+#include <algorithm>
+#include <set>
+#include <cassert>
+#include <cstdio>
+
+namespace mlight::dht {
+
+std::string toString(RingId id) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id.value));
+  return buf;
+}
+
+Network::Network(std::size_t peerCount, std::uint64_t seed,
+                 std::size_t vnodesPerPeer, LatencyModel latency)
+    : vnodesPerPeer_(vnodesPerPeer), latency_(latency), rng_(seed) {
+  assert(peerCount >= 1);
+  assert(vnodesPerPeer >= 1);
+  peers_.reserve(peerCount * vnodesPerPeer);
+  for (std::size_t i = 0; i < peerCount; ++i) {
+    addPeer("node:" + std::to_string(nextPeerSerial_++));
+  }
+}
+
+std::size_t Network::livePhysicalCount() const {
+  std::set<std::size_t> live;
+  for (const auto& [vnode, physical] : vnodeToPhysical_) live.insert(physical);
+  return live.size();
+}
+
+std::size_t Network::physicalOf(RingId vnode) const {
+  const auto it = vnodeToPhysical_.find(vnode);
+  assert(it != vnodeToPhysical_.end());
+  return it->second;
+}
+
+RingId Network::responsible(RingId h) const noexcept {
+  assert(!peers_.empty());
+  // Greatest peer id <= h; wrap to the overall greatest if h precedes all.
+  auto it = std::upper_bound(peers_.begin(), peers_.end(), h);
+  if (it == peers_.begin()) return peers_.back();
+  return *std::prev(it);
+}
+
+double Network::linkMs(RingId a, RingId b) const noexcept {
+  if (a == b) return 0.0;
+  {
+    const auto ia = vnodeToPhysical_.find(a);
+    const auto ib = vnodeToPhysical_.find(b);
+    if (ia != vnodeToPhysical_.end() && ib != vnodeToPhysical_.end() &&
+        ia->second == ib->second) {
+      return 0.0;  // co-located virtual nodes
+    }
+  }
+  // Deterministic symmetric draw from [minMs, maxMs].
+  const std::uint64_t lo = std::min(a.value, b.value);
+  const std::uint64_t hi = std::max(a.value, b.value);
+  std::uint64_t h = lo * 0x9E3779B97F4A7C15ull ^ (hi + 0xD1B54A32D192ED03ull);
+  h ^= h >> 32;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  const double unit =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return latency_.minMs + (latency_.maxMs - latency_.minMs) * unit;
+}
+
+Network::Path Network::routePath(RingId from, RingId target) const noexcept {
+  std::size_t hops = 0;
+  double ms = 0.0;
+  RingId cur = from;
+  while (cur != target) {
+    // Greedy Chord step: jump to the contact that gets clockwise-closest
+    // to the target without passing it; the successor (finger[0] covers
+    // +1, but we keep an explicit fallback) guarantees progress.
+    const auto& table = fingers_.at(cur);
+    const std::uint64_t want = clockwise(cur, target);
+    RingId next = cur;
+    std::uint64_t best = 0;
+    for (RingId f : table) {
+      const std::uint64_t d = clockwise(cur, f);
+      if (d != 0 && d <= want && d > best) {
+        best = d;
+        next = f;
+      }
+    }
+    if (next == cur) {
+      // All fingers overshoot; step to the immediate successor.
+      auto it = std::upper_bound(peers_.begin(), peers_.end(), cur);
+      next = (it == peers_.end()) ? peers_.front() : *it;
+    }
+    ms += linkMs(cur, next);
+    cur = next;
+    ++hops;
+  }
+  return Path{hops, ms};
+}
+
+RouteResult Network::lookup(RingId initiator, RingId key) {
+  const RingId owner = responsible(key);
+  const Path path = routePath(initiator, owner);
+  maxHops_ = std::max(maxHops_, path.hops);
+  total_.lookups += 1;
+  total_.hops += path.hops;
+  if (meter_ != nullptr) {
+    meter_->lookups += 1;
+    meter_->hops += path.hops;
+  }
+  return RouteResult{owner, path.hops, path.ms};
+}
+
+void Network::shipPayload(RingId from, RingId to, std::size_t bytes,
+                          std::size_t records) {
+  if (from == to) return;
+  total_.bytesMoved += bytes;
+  total_.recordsMoved += records;
+  if (meter_ != nullptr) {
+    meter_->bytesMoved += bytes;
+    meter_->recordsMoved += records;
+  }
+}
+
+RingId Network::randomPeer() {
+  assert(!peers_.empty());
+  return peers_[rng_.below(peers_.size())];
+}
+
+RingId Network::addPeer(std::string_view name) {
+  const std::size_t physical = physicalNames_.size();
+  physicalNames_.emplace_back(name);
+  RingId first{};
+  for (std::size_t v = 0; v < vnodesPerPeer_; ++v) {
+    RingId id = keyId(std::string("peer-id:") + std::string(name) + "#" +
+                      std::to_string(v));
+    // Resolve the (astronomically unlikely) collision deterministically.
+    while (std::binary_search(peers_.begin(), peers_.end(), id)) {
+      id.value += 1;
+    }
+    peers_.insert(std::upper_bound(peers_.begin(), peers_.end(), id), id);
+    vnodeToPhysical_[id] = physical;
+    if (v == 0) first = id;
+  }
+  rebuildFingers();
+  const MembershipChange change{MembershipChange::Kind::kJoin, {}};
+  for (const auto& [handle, fn] : stores_) fn(change);
+  return first;
+}
+
+bool Network::dropPhysicalPeer(RingId id, MembershipChange::Kind kind) {
+  const auto mapIt = vnodeToPhysical_.find(id);
+  if (mapIt == vnodeToPhysical_.end()) return false;
+  const std::size_t physical = mapIt->second;
+  bool othersLive = false;
+  for (const auto& [vnode, owner] : vnodeToPhysical_) {
+    (void)vnode;
+    if (owner != physical) {
+      othersLive = true;
+      break;
+    }
+  }
+  if (!othersLive) return false;  // last physical peer
+  MembershipChange change;
+  change.kind = kind;
+  for (const auto& [vnode, owner] : vnodeToPhysical_) {
+    if (owner == physical) change.removedVnodes.push_back(vnode);
+  }
+  std::erase_if(peers_, [&](RingId p) {
+    const auto it = vnodeToPhysical_.find(p);
+    return it != vnodeToPhysical_.end() && it->second == physical;
+  });
+  std::erase_if(vnodeToPhysical_,
+                [&](const auto& e) { return e.second == physical; });
+  rebuildFingers();
+  for (const auto& [handle, fn] : stores_) fn(change);
+  return true;
+}
+
+bool Network::removePeer(RingId id) {
+  return dropPhysicalPeer(id, MembershipChange::Kind::kGracefulLeave);
+}
+
+bool Network::crashPeer(RingId id) {
+  return dropPhysicalPeer(id, MembershipChange::Kind::kCrash);
+}
+
+void Network::rebuildFingers() {
+  fingers_.clear();
+  for (RingId p : peers_) {
+    std::vector<RingId>& table = fingers_[p];
+    table.reserve(64);
+    RingId last{p.value};  // sentinel: skip duplicate fingers
+    for (int k = 0; k < 64; ++k) {
+      const RingId probe{p.value + (std::uint64_t{1} << k)};
+      // First peer at or clockwise-after `probe`.
+      auto it = std::lower_bound(peers_.begin(), peers_.end(), probe);
+      const RingId f = (it == peers_.end()) ? peers_.front() : *it;
+      if (f != last && f != p) {
+        table.push_back(f);
+        last = f;
+      }
+    }
+  }
+}
+
+}  // namespace mlight::dht

@@ -1,0 +1,208 @@
+// Simulated Chord/Bamboo-style DHT overlay.
+//
+// The paper runs m-LIGHT over the Bamboo DHT ("a ring-like DHT") with more
+// than one hundred logical peers on a LAN.  All reported metrics are
+// counts of DHT operations, so a deterministic simulated overlay
+// reproduces them exactly:
+//
+//  * peers sit on a 64-bit identifier ring (SHA-1 of their names);
+//  * a key κ is owned by the peer whose identifier is *less than but
+//    closest to* hash(κ) (predecessor mapping, paper §3.1);
+//  * lookups route greedily through per-peer finger tables
+//    (finger[k] = first peer at or after self + 2^k), giving the O(log n)
+//    hop counts a real Chord/Bamboo deployment exhibits;
+//  * membership can change (churn); registered stores are told to migrate
+//    keys whose ownership moved.
+//
+// The Network is the only component that touches the CostMeter: each
+// routed resolution counts one DHT-lookup plus its hops, and payload
+// shipped between distinct peers counts bytes/records moved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "dht/cost.h"
+#include "dht/id.h"
+
+namespace mlight::dht {
+
+/// Result of a routed lookup.
+struct RouteResult {
+  RingId owner;        ///< Peer responsible for the key.
+  std::size_t hops;    ///< Overlay hops from the initiator.
+  double ms;           ///< Simulated network time along the hop path.
+};
+
+/// Pairwise link latencies: deterministic per ordered peer pair, drawn
+/// uniformly from [minMs, maxMs] by hashing the pair (symmetric).  The
+/// default range loosely models a wide-area overlay; a LAN would be
+/// {0.1, 1.0}.
+struct LatencyModel {
+  double minMs = 10.0;
+  double maxMs = 100.0;
+  /// Per-message send/serialization overhead at the issuing peer: the
+  /// i-th message a peer sends in one burst departs i*sendOverheadMs
+  /// late.  This is what makes a 10^5-message fan-out latency-bound at
+  /// the sender even with parallel links (cf. DST's large-range
+  /// queries, EXPERIMENTS.md).
+  double sendOverheadMs = 1.0;
+};
+
+class Network {
+ public:
+  /// Builds an overlay with `peerCount` physical peers named "node:<i>",
+  /// each owning `vnodesPerPeer` ring positions (virtual nodes — the
+  /// classic Chord remedy for consistent-hashing arc imbalance; Bamboo
+  /// and OpenDHT deployments do the same).  `seed` feeds only auxiliary
+  /// choices (e.g. initiator picking).
+  explicit Network(std::size_t peerCount, std::uint64_t seed = 1,
+                   std::size_t vnodesPerPeer = 1,
+                   LatencyModel latency = LatencyModel{});
+
+  /// Number of ring positions (virtual nodes).
+  std::size_t peerCount() const noexcept { return peers_.size(); }
+
+  /// Size of the physical-peer index space (peers ever added; indices
+  /// from physicalOf() are stable across churn, so departed peers keep
+  /// their slot).
+  std::size_t physicalCount() const noexcept { return physicalNames_.size(); }
+
+  /// Number of physical peers currently in the overlay.
+  std::size_t livePhysicalCount() const;
+
+  /// All ring positions in ring order.
+  const std::vector<RingId>& peers() const noexcept { return peers_; }
+
+  /// Index of the physical peer owning ring position `vnode` (which must
+  /// be a live position).  Stable across churn of *other* peers.
+  std::size_t physicalOf(RingId vnode) const;
+
+  /// Peer owning ring position `h`: greatest id <= h, wrapping.
+  RingId responsible(RingId h) const noexcept;
+
+  /// Peer owning application key `key`.
+  RingId responsibleForKey(std::string_view key) const noexcept {
+    return responsible(keyId(key));
+  }
+
+  /// Routes a lookup for `key` from `initiator`; meters one DHT-lookup
+  /// and the hops taken.
+  RouteResult lookup(RingId initiator, RingId key);
+  RouteResult lookupKey(RingId initiator, std::string_view key) {
+    return lookup(initiator, keyId(key));
+  }
+
+  /// Accounts payload moving from `from` to `to` (no cost if same peer).
+  void shipPayload(RingId from, RingId to, std::size_t bytes,
+                   std::size_t records);
+
+  /// A uniformly random live peer (deterministic via the network's RNG).
+  RingId randomPeer();
+
+  /// How a membership change happened: graceful departures hand their
+  /// data to the new owners first; crashes take their copies with them.
+  struct MembershipChange {
+    enum class Kind { kJoin, kGracefulLeave, kCrash };
+    Kind kind = Kind::kJoin;
+    /// Ring positions that vanished (empty for joins).  For crashes,
+    /// any data held only by these positions is gone.
+    std::vector<RingId> removedVnodes;
+  };
+
+  /// Adds a physical peer named `name` (with this network's vnode count);
+  /// migrates ownership via registered stores.  Returns its first vnode.
+  RingId addPeer(std::string_view name);
+
+  /// Removes the *physical* peer owning ring position `id` (all of its
+  /// virtual nodes leave).  Keys are migrated to the new owners.
+  /// Returns false if `id` is unknown or this is the last peer.
+  bool removePeer(RingId id);
+
+  /// Crash-fails the physical peer owning ring position `id`: its vnodes
+  /// vanish *without* handing data off — registered stores decide what
+  /// survives (replicas) and what is lost.
+  bool crashPeer(RingId id);
+
+  /// Stores register a migration callback invoked on membership changes.
+  /// The callback must re-home (or mourn) every key whose responsible
+  /// peer changed.  Returns a handle for unregisterStore (call it before
+  /// the store dies).
+  using RebalanceFn = std::function<void(const MembershipChange&)>;
+  std::uint64_t registerStore(RebalanceFn fn) {
+    stores_.emplace_back(nextStoreHandle_, std::move(fn));
+    return nextStoreHandle_++;
+  }
+  void unregisterStore(std::uint64_t handle) {
+    std::erase_if(stores_,
+                  [handle](const auto& e) { return e.first == handle; });
+  }
+
+  /// Installs `meter` as the destination for cost accounting; returns the
+  /// previous meter (restore it when done).  Null disables scoped
+  /// metering; totals are always accumulated in totalCost().
+  CostMeter* setMeter(CostMeter* meter) noexcept {
+    CostMeter* old = meter_;
+    meter_ = meter;
+    return old;
+  }
+
+  const CostMeter& totalCost() const noexcept { return total_; }
+
+  /// Maximum hops observed over all lookups so far (sanity: O(log n)).
+  std::size_t maxHopsSeen() const noexcept { return maxHops_; }
+
+  /// Simulated one-way latency of the overlay link a -> b (0 for a == b;
+  /// links between two vnodes of one physical peer are local too).
+  double linkMs(RingId a, RingId b) const noexcept;
+
+  /// Per-message send overhead of the latency model.
+  double sendOverheadMs() const noexcept { return latency_.sendOverheadMs; }
+
+ private:
+  void rebuildFingers();
+  bool dropPhysicalPeer(RingId id, MembershipChange::Kind kind);
+  struct Path {
+    std::size_t hops;
+    double ms;
+  };
+  Path routePath(RingId from, RingId target) const noexcept;
+
+  std::vector<RingId> peers_;                       // vnodes, ring order
+  std::map<RingId, std::vector<RingId>> fingers_;   // per-vnode fingers
+  std::map<RingId, std::size_t> vnodeToPhysical_;   // vnode -> peer index
+  std::vector<std::string> physicalNames_;          // by peer index
+  std::size_t vnodesPerPeer_ = 1;
+  LatencyModel latency_;
+  std::vector<std::pair<std::uint64_t, RebalanceFn>> stores_;
+  std::uint64_t nextStoreHandle_ = 0;
+  mlight::common::Rng rng_;
+  CostMeter* meter_ = nullptr;
+  CostMeter total_;
+  std::size_t maxHops_ = 0;
+  std::uint64_t nextPeerSerial_ = 0;
+};
+
+/// RAII helper: installs a meter on construction, restores on destruction.
+class MeterScope {
+ public:
+  MeterScope(Network& net, CostMeter& meter) noexcept
+      : net_(net), prev_(net.setMeter(&meter)) {}
+  ~MeterScope() { net_.setMeter(prev_); }
+
+  MeterScope(const MeterScope&) = delete;
+  MeterScope& operator=(const MeterScope&) = delete;
+
+ private:
+  Network& net_;
+  CostMeter* prev_;
+};
+
+}  // namespace mlight::dht

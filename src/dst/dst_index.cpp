@@ -1,0 +1,231 @@
+#include "dst/dst_index.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/zorder.h"
+
+namespace mlight::dst {
+
+namespace {
+
+using mlight::common::cellOfPath;
+using mlight::common::interleave;
+
+void collectInRange(const DstNode& node, const mlight::common::Rect& range,
+                    std::vector<mlight::index::Record>& out) {
+  for (const auto& r : node.records) {
+    if (range.contains(r.key)) out.push_back(r);
+  }
+}
+
+}  // namespace
+
+DstIndex::DstIndex(mlight::dht::Network& net, DstConfig config)
+    : net_(&net),
+      config_(std::move(config)),
+      store_(net, config_.dhtNamespace),
+      rng_(config_.seed) {
+  if (config_.dims < 1 || config_.dims > mlight::common::kMaxDims) {
+    throw std::invalid_argument("DstIndex: dims out of range");
+  }
+  if (config_.maxDepth % config_.dims != 0) {
+    throw std::invalid_argument(
+        "DstIndex: maxDepth must be a multiple of dims");
+  }
+  if (config_.gamma == 0) {
+    throw std::invalid_argument("DstIndex: gamma must be positive");
+  }
+}
+
+mlight::dht::RingId DstIndex::randomPeer() {
+  const auto& peers = net_->peers();
+  return peers[rng_.below(peers.size())];
+}
+
+void DstIndex::insert(const Record& record) {
+  if (record.key.dims() != config_.dims) {
+    throw std::invalid_argument("insert: wrong dimensionality");
+  }
+  const auto initiator = randomPeer();
+  const Label path = interleave(record.key, config_.maxDepth);
+  // Replicate at every ancestor (subject to saturation): one DHT-lookup
+  // per level — the maintenance price of DST's O(1) queries.
+  for (std::size_t level = 0; level <= levels(); ++level) {
+    const Label label = path.prefix(level * config_.dims);
+    const auto found = store_.routeAndFind(initiator, label);
+    const bool isLeafLevel = (level == levels());
+    if (found.bucket == nullptr) {
+      DstNode node;
+      node.label = label;
+      node.records.push_back(record);
+      net_->shipPayload(initiator, found.owner, record.byteSize(), 1);
+      store_.placeLocal(label, std::move(node));
+      continue;
+    }
+    DstNode& node = *found.bucket;
+    if (!isLeafLevel) {
+      if (!node.complete) continue;  // saturated long ago; skip
+      if (node.records.size() >= config_.gamma) {
+        // This record does not fit: the node's replica set is no longer
+        // the full contents of its region.
+        node.complete = false;
+        continue;
+      }
+    }
+    node.records.push_back(record);
+    net_->shipPayload(initiator, found.owner, record.byteSize(), 1);
+  }
+  ++size_;
+}
+
+std::size_t DstIndex::erase(const Point& key, std::uint64_t id) {
+  const auto initiator = randomPeer();
+  const Label path = interleave(key, config_.maxDepth);
+  std::size_t removedAtLeaf = 0;
+  for (std::size_t level = 0; level <= levels(); ++level) {
+    const Label label = path.prefix(level * config_.dims);
+    const auto found = store_.routeAndFind(initiator, label);
+    if (found.bucket == nullptr) continue;
+    const auto before = found.bucket->records.size();
+    std::erase_if(found.bucket->records, [&](const Record& r) {
+      return r.id == id && r.key == key;
+    });
+    if (level == levels()) {
+      removedAtLeaf = before - found.bucket->records.size();
+    }
+  }
+  size_ -= removedAtLeaf;
+  return removedAtLeaf;
+}
+
+mlight::index::PointResult DstIndex::pointQuery(const Point& key) {
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  mlight::index::PointResult out;
+  // The leaf-level cell is computable locally and always complete: exact
+  // match is a single DHT-lookup (DST's strength).
+  const Label leaf = interleave(key, config_.maxDepth);
+  const auto found = store_.routeAndFind(randomPeer(), leaf);
+  if (found.bucket != nullptr) {
+    for (const auto& r : found.bucket->records) {
+      if (r.key == key) out.records.push_back(r);
+    }
+  }
+  out.stats.cost = meter;
+  out.stats.rounds = 1;
+  out.stats.latencyMs = found.ms;
+  return out;
+}
+
+void DstIndex::decomposeInto(const Rect& range, const Label& node,
+                             std::vector<Label>& out) const {
+  const Rect cell = cellOfPath(node, config_.dims);
+  if (!cell.intersects(range)) return;
+  if (range.containsRect(cell) || node.size() >= config_.maxDepth) {
+    out.push_back(node);
+    return;
+  }
+  // Enumerate the 2^m level-children of the node.
+  const std::size_t fan = std::size_t{1} << config_.dims;
+  for (std::size_t child = 0; child < fan; ++child) {
+    Label childLabel = node;
+    for (std::size_t b = 0; b < config_.dims; ++b) {
+      childLabel.pushBack((child >> (config_.dims - 1 - b)) & 1u);
+    }
+    decomposeInto(range, childLabel, out);
+  }
+}
+
+std::vector<DstIndex::Label> DstIndex::decompose(const Rect& range) const {
+  std::vector<Label> out;
+  decomposeInto(range, Label{}, out);
+  return out;
+}
+
+mlight::index::RangeResult DstIndex::rangeQuery(const Rect& range) {
+  mlight::index::RangeResult out;
+  if (range.dims() != config_.dims) {
+    throw std::invalid_argument("rangeQuery: wrong dimensionality");
+  }
+  const Rect clipped = range.intersection(Rect::unit(config_.dims));
+  if (clipped.empty()) return out;
+
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const auto initiator = randomPeer();
+  std::size_t rounds = 0;
+
+  // The canonical decomposition is computed locally (the tree is static),
+  // then every canonical node is one parallel DHT-lookup away: O(1)
+  // rounds unless saturation forces descents.
+  struct Task {
+    Label label;
+    mlight::dht::RingId source;
+  };
+  std::vector<Task> wave;
+  for (Label& label : decompose(clipped)) {
+    wave.push_back(Task{std::move(label), initiator});
+  }
+
+  double latencyMs = 0.0;
+  while (!wave.empty()) {
+    ++rounds;
+    mlight::index::WaveLatency waveLatency;
+    std::vector<Task> next;
+    for (const Task& task : wave) {
+      const auto found = store_.routeAndFind(task.source, task.label);
+      waveLatency.add(task.source, found.ms);
+      if (found.bucket == nullptr) continue;  // empty region
+      if (found.bucket->complete) {
+        collectInRange(*found.bucket, clipped, out.records);
+        continue;
+      }
+      // Saturated: replica set incomplete, descend one level.
+      const std::size_t fan = std::size_t{1} << config_.dims;
+      for (std::size_t child = 0; child < fan; ++child) {
+        Label childLabel = task.label;
+        for (std::size_t b = 0; b < config_.dims; ++b) {
+          childLabel.pushBack((child >> (config_.dims - 1 - b)) & 1u);
+        }
+        if (cellOfPath(childLabel, config_.dims).intersects(clipped)) {
+          next.push_back(Task{std::move(childLabel), found.owner});
+        }
+      }
+    }
+    wave = std::move(next);
+    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
+  }
+
+  out.stats.cost = meter;
+  out.stats.rounds = rounds;
+  out.stats.latencyMs = latencyMs;
+  return out;
+}
+
+void DstIndex::checkInvariants() const {
+  std::size_t leafRecords = 0;
+  store_.forEach([&](const Label& key, const DstNode& n,
+                     mlight::dht::RingId) {
+    MLIGHT_CHECK(key == n.label, "node stored under wrong key");
+    MLIGHT_CHECK(n.label.size() % config_.dims == 0, "off-level node");
+    MLIGHT_CHECK(n.label.size() <= config_.maxDepth, "node too deep");
+    const Rect cell = cellOfPath(n.label, config_.dims);
+    for (const auto& r : n.records) {
+      MLIGHT_CHECK(cell.contains(r.key), "record outside node cell");
+    }
+    if (n.label.size() == config_.maxDepth) {
+      MLIGHT_CHECK(n.complete, "leaf-level node must be complete");
+      leafRecords += n.records.size();
+    } else if (n.complete) {
+      MLIGHT_CHECK(n.records.size() <= config_.gamma,
+                   "complete node above saturation cap");
+    }
+  });
+  MLIGHT_CHECK(leafRecords == size_, "record count drift");
+}
+
+}  // namespace mlight::dst

@@ -1,0 +1,119 @@
+// DST: Distributed Segment Tree baseline (Zheng et al., IPTPS'06 / MSR TR
+// 2007; paper [5],[19]), in its multi-dimensional (quad-tree) form the
+// m-LIGHT paper compares against.
+//
+// DST superimposes a *static* 2^m-ary tree of depth L = D/m over the data
+// space; node labels are interleaved-bit prefixes of length m·ℓ.  To fill
+// internal nodes with data, every record is replicated at ALL its
+// ancestors, capped by a per-node saturation limit γ: once a node
+// overflows γ it stops absorbing records (and is marked incomplete, so
+// queries must descend below it).  Consequences the paper measures:
+//
+//  * maintenance costs an order of magnitude more than m-LIGHT/PHT
+//    (one DHT-put per non-saturated ancestor per insert);
+//  * small ranges resolve in O(1) rounds (each canonical cover node is
+//    one DHT-lookup away);
+//  * large ranges decompose into very many small subranges when the
+//    static depth D exceeds the "real" tree depth, blowing up bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/serde.h"
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "dht/network.h"
+#include "index/index_base.h"
+#include "store/distributed_store.h"
+
+namespace mlight::dst {
+
+struct DstConfig {
+  std::size_t dims = 2;
+  /// Static tree depth in interleaved bits; levels = maxDepth / dims.
+  /// §7 uses D = 28 (14 quad levels in 2-D).
+  std::size_t maxDepth = 28;
+  /// Saturation cap γ per node (the paper couples it to θ_split).
+  std::size_t gamma = 100;
+  std::uint64_t seed = 44;
+  std::string dhtNamespace = "dst/";
+};
+
+struct DstNode {
+  mlight::common::BitString label;
+  std::vector<mlight::index::Record> records;
+  /// False once any record skipped this node because it was saturated;
+  /// incomplete nodes cannot answer queries and force a descent.
+  bool complete = true;
+
+  std::size_t recordCount() const noexcept { return records.size(); }
+  std::size_t byteSize() const noexcept {
+    std::size_t bytes = 4 + 8 * ((label.size() + 63) / 64) + 1 + 4;
+    for (const auto& r : records) bytes += r.byteSize();
+    return bytes;
+  }
+
+  void serialize(mlight::common::Writer& w) const {
+    w.writeBitString(label);
+    w.writeU8(complete ? 1 : 0);
+    w.writeU32(static_cast<std::uint32_t>(records.size()));
+    for (const auto& r : records) r.serialize(w);
+  }
+
+  static DstNode deserialize(mlight::common::Reader& r) {
+    DstNode n;
+    n.label = r.readBitString();
+    n.complete = r.readU8() != 0;
+    const std::uint32_t count = r.readCount(16);
+    n.records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      n.records.push_back(mlight::index::Record::deserialize(r));
+    }
+    return n;
+  }
+};
+
+class DstIndex final : public mlight::index::IndexBase {
+ public:
+  using Label = mlight::common::BitString;
+  using Point = mlight::common::Point;
+  using Rect = mlight::common::Rect;
+  using Record = mlight::index::Record;
+
+  DstIndex(mlight::dht::Network& net, DstConfig config);
+
+  void insert(const Record& record) override;
+  std::size_t erase(const Point& key, std::uint64_t id) override;
+  mlight::index::RangeResult rangeQuery(const Rect& range) override;
+  mlight::index::PointResult pointQuery(const Point& key) override;
+  std::size_t size() const override { return size_; }
+
+  std::size_t nodeCount() const noexcept { return store_.bucketCount(); }
+  std::size_t levels() const noexcept { return config_.maxDepth / config_.dims; }
+  void checkInvariants() const;
+
+  /// The canonical decomposition of a range into maximal tree cells
+  /// (computed locally; exposed for tests and the bandwidth analysis).
+  std::vector<Label> decompose(const Rect& range) const;
+
+  const mlight::store::DistributedStore<DstNode>& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  mlight::dht::RingId randomPeer();
+  void decomposeInto(const Rect& range, const Label& node,
+                     std::vector<Label>& out) const;
+
+  mlight::dht::Network* net_;
+  DstConfig config_;
+  mlight::store::DistributedStore<DstNode> store_;
+  mlight::common::Rng rng_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mlight::dst

@@ -1,0 +1,38 @@
+// Common interface of the three over-DHT indexes (m-LIGHT, PHT, DST).
+//
+// The benchmark harness drives all schemes through this interface so every
+// figure compares identical workloads.  Implementations meter all DHT
+// traffic through the shared Network.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "index/record.h"
+#include "index/types.h"
+
+namespace mlight::index {
+
+class IndexBase {
+ public:
+  virtual ~IndexBase() = default;
+
+  /// Inserts one record (lookup + put + any split/replication traffic).
+  virtual void insert(const Record& record) = 0;
+
+  /// Removes all records with the given key and id; returns the number
+  /// removed.  May trigger merges.
+  virtual std::size_t erase(const mlight::common::Point& key,
+                            std::uint64_t id) = 0;
+
+  /// All records whose key falls inside `range` (half-open box).
+  virtual RangeResult rangeQuery(const mlight::common::Rect& range) = 0;
+
+  /// All records whose key equals `key` exactly.
+  virtual PointResult pointQuery(const mlight::common::Point& key) = 0;
+
+  /// Total records currently stored.
+  virtual std::size_t size() const = 0;
+};
+
+}  // namespace mlight::index

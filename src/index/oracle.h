@@ -1,0 +1,59 @@
+// Brute-force oracle: a flat in-memory index used as ground truth.
+//
+// Every distributed index in this repo is property-tested against this
+// oracle: identical inserts must yield identical query answers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "index/record.h"
+
+namespace mlight::index {
+
+class Oracle {
+ public:
+  void insert(const Record& r) { records_.push_back(r); }
+
+  std::size_t erase(const mlight::common::Point& key, std::uint64_t id) {
+    const auto before = records_.size();
+    std::erase_if(records_, [&](const Record& r) {
+      return r.id == id && r.key == key;
+    });
+    return before - records_.size();
+  }
+
+  std::vector<Record> rangeQuery(const mlight::common::Rect& range) const {
+    std::vector<Record> out;
+    for (const Record& r : records_) {
+      if (range.contains(r.key)) out.push_back(r);
+    }
+    sortById(out);
+    return out;
+  }
+
+  std::vector<Record> pointQuery(const mlight::common::Point& key) const {
+    std::vector<Record> out;
+    for (const Record& r : records_) {
+      if (r.key == key) out.push_back(r);
+    }
+    sortById(out);
+    return out;
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Canonical ordering for comparing result sets.
+  static void sortById(std::vector<Record>& v) {
+    std::sort(v.begin(), v.end(), [](const Record& a, const Record& b) {
+      return a.id < b.id;
+    });
+  }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace mlight::index

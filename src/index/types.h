@@ -1,0 +1,64 @@
+// Shared result/statistics types for all over-DHT indexes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dht/cost.h"
+#include "dht/id.h"
+#include "index/record.h"
+
+namespace mlight::index {
+
+/// Per-query cost report, in the paper's units:
+///  * bandwidth  = number of DHT-lookups consumed (cost.lookups);
+///  * latency    = rounds of DHT-lookups (depth of the parallel
+///    forwarding waves, §6's worked example).
+struct QueryStats {
+  mlight::dht::CostMeter cost;
+  std::size_t rounds = 0;
+  /// Simulated wall latency: per round, the slowest parallel lookup of
+  /// that wave; sequential probes accumulate.
+  double latencyMs = 0.0;
+};
+
+/// Range query outcome: matching records plus the cost report.
+struct RangeResult {
+  std::vector<Record> records;
+  QueryStats stats;
+};
+
+/// Point (exact-match) outcome.
+struct PointResult {
+  std::vector<Record> records;  ///< All records whose key equals the probe.
+  QueryStats stats;
+};
+
+/// Accumulates the simulated latency of one parallel wave of lookups:
+/// links run in parallel, but each *sender* serializes its own burst, so
+/// the wave costs max(path ms) + (largest per-sender burst) x overhead.
+/// This is the term that makes huge fan-outs latency-bound at the
+/// issuing peer (see docs/COST_MODEL.md).
+class WaveLatency {
+ public:
+  void add(mlight::dht::RingId sender, double pathMs) {
+    maxPathMs_ = std::max(maxPathMs_, pathMs);
+    maxBurst_ = std::max(maxBurst_, ++perSender_[sender]);
+  }
+
+  double totalMs(double sendOverheadMs) const {
+    if (perSender_.empty()) return 0.0;
+    return maxPathMs_ +
+           static_cast<double>(maxBurst_ - 1) * sendOverheadMs;
+  }
+
+ private:
+  std::map<mlight::dht::RingId, std::size_t> perSender_;
+  std::size_t maxBurst_ = 0;
+  double maxPathMs_ = 0.0;
+};
+
+}  // namespace mlight::index

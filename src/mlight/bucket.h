@@ -1,0 +1,52 @@
+// Leaf bucket: the unit of distribution in m-LIGHT (paper §3.3).
+//
+// The global space kd-tree is decomposed into one bucket per leaf.  A
+// bucket stores two components: the *label store* — the leaf label λ,
+// which encodes the whole local tree (ancestors are prefixes of λ, branch
+// nodes are prefixes with the last bit inverted) — and the *record store*
+// with the data records whose keys fall in the leaf's region.  The bucket
+// lives in the DHT under key f_md(λ).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/serde.h"
+#include "index/record.h"
+
+namespace mlight::core {
+
+struct LeafBucket {
+  mlight::common::BitString label;
+  std::vector<mlight::index::Record> records;
+
+  std::size_t recordCount() const noexcept { return records.size(); }
+
+  /// Serialized size: drives data-movement accounting when the bucket is
+  /// shipped between peers (splits, merges, churn).
+  std::size_t byteSize() const noexcept {
+    std::size_t bytes = 4 + 8 * ((label.size() + 63) / 64) + 4;
+    for (const auto& r : records) bytes += r.byteSize();
+    return bytes;
+  }
+
+  void serialize(mlight::common::Writer& w) const {
+    w.writeBitString(label);
+    w.writeU32(static_cast<std::uint32_t>(records.size()));
+    for (const auto& r : records) r.serialize(w);
+  }
+
+  static LeafBucket deserialize(mlight::common::Reader& r) {
+    LeafBucket b;
+    b.label = r.readBitString();
+    const std::uint32_t n = r.readCount(16);
+    b.records.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      b.records.push_back(mlight::index::Record::deserialize(r));
+    }
+    return b;
+  }
+};
+
+}  // namespace mlight::core

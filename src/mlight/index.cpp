@@ -1,0 +1,273 @@
+#include "mlight/index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+#include "mlight/split.h"
+
+namespace mlight::core {
+
+MLightIndex::MLightIndex(mlight::dht::Network& net, MLightConfig config)
+    : net_(&net),
+      config_(std::move(config)),
+      store_(net, config_.dhtNamespace, config_.replication),
+      rng_(config_.seed) {
+  if (config_.dims < 1 || config_.dims > mlight::common::kMaxDims) {
+    throw std::invalid_argument("MLightIndex: dims out of range");
+  }
+  if (config_.thetaMerge >= config_.thetaSplit) {
+    throw std::invalid_argument(
+        "MLightIndex: thetaMerge must be < thetaSplit");
+  }
+  // Bootstrap: a single leaf # named to the virtual root.  Index creation
+  // is not part of any measured workload, so the bucket is placed locally.
+  const Label rootKey = naming(rootLabel(config_.dims), config_.dims);
+  LeafBucket root;
+  root.label = rootLabel(config_.dims);
+  store_.placeLocal(rootKey, std::move(root));
+}
+
+mlight::dht::RingId MLightIndex::randomPeer() {
+  const auto& peers = net_->peers();
+  return peers[rng_.below(peers.size())];
+}
+
+MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
+                                         const Point& p,
+                                         std::size_t hiCap) {
+  const std::size_t m = config_.dims;
+  const Label full = pointPathLabel(p, m, config_.maxEdgeDepth);
+  std::size_t lo = 0;
+  std::size_t hi = std::min(config_.maxEdgeDepth, hiCap);
+  Located result;
+  // Distinct candidates can share a name (every candidate in
+  // (|f_md(λ)|, |λ|] names to f_md(λ)); a repeated key needs no second
+  // DHT-lookup, the earlier answer is definitive.  (Only hit-but-off-path
+  // keys can repeat: a NULL key caps `hi` below any candidate that could
+  // name to it again.)
+  std::vector<Label> probedKeys;
+  for (;;) {
+    const std::size_t t = lo + (hi - lo) / 2;
+    const Label candidate = full.prefix(m + 1 + t);
+    const Label key = naming(candidate, m);
+    if (std::find(probedKeys.begin(), probedKeys.end(), key) !=
+        probedKeys.end()) {
+      lo = t + 1;
+      assert(lo <= hi && "lookup binary search lost the target");
+      continue;
+    }
+    const auto found = store_.routeAndFind(initiator, key);
+    probedKeys.push_back(key);
+    ++result.probes;
+    result.ms += found.ms;
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{
+          result.probes, key,
+          found.bucket != nullptr ? found.bucket->label : Label{},
+          found.bucket != nullptr});
+    }
+    if (found.bucket == nullptr) {
+      // `key` is not an internal node, so the leaf on this path is no
+      // deeper than key; the NULL probe can cut far below t-1 (this is
+      // where m-LIGHT beats a plain prefix binary search).
+      assert(key.size() >= m + 1 && "virtual-root bucket must exist");
+      hi = edgeDepth(key, m);
+      assert(hi < t || t == 0);
+    } else if (found.bucket->label.isPrefixOf(full)) {
+      result.key = key;
+      result.leaf = found.bucket->label;
+      result.owner = found.owner;
+      return result;
+    } else {
+      // `key` is internal and its named leaf is off-path: every candidate
+      // in (edgeDepth(key), t] shares the same name, so none is the leaf.
+      lo = t + 1;
+    }
+    assert(lo <= hi && "lookup binary search lost the target");
+  }
+}
+
+MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const std::size_t m = config_.dims;
+  const Label full = pointPathLabel(key, m, config_.maxEdgeDepth);
+  const auto initiator = randomPeer();
+  LookupResult out;
+  Label lastProbed;
+  for (std::size_t t = 0; t <= config_.maxEdgeDepth; ++t) {
+    const Label candidate = full.prefix(m + 1 + t);
+    const Label probeKey = naming(candidate, m);
+    if (probeKey == lastProbed) continue;  // consecutive shared name
+    lastProbed = probeKey;
+    const auto found = store_.routeAndFind(initiator, probeKey);
+    ++out.stats.rounds;
+    if (found.bucket != nullptr &&
+        found.bucket->label.isPrefixOf(full)) {
+      out.leaf = found.bucket->label;
+      break;
+    }
+  }
+  out.stats.cost = meter;
+  return out;
+}
+
+MLightIndex::LookupResult MLightIndex::lookup(const Point& key) {
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const Located loc = locate(randomPeer(), key);
+  LookupResult out;
+  out.leaf = loc.leaf;
+  out.stats.cost = meter;
+  out.stats.rounds = loc.probes;  // probes are sequential
+  out.stats.latencyMs = loc.ms;
+  return out;
+}
+
+void MLightIndex::insert(const Record& record) {
+  if (record.key.dims() != config_.dims) {
+    throw std::invalid_argument("insert: wrong dimensionality");
+  }
+  const auto initiator = randomPeer();
+  const Located loc = locate(initiator, record.key);
+  // The final probe already reached the owner; the record ships with the
+  // reply-put, costing payload movement but no extra DHT-lookup.
+  net_->shipPayload(initiator, loc.owner, record.byteSize(), 1);
+  store_.shipToReplicas(loc.owner, loc.key, record.byteSize(), 1);
+  breakdown_.insertShipBytes += record.byteSize();
+  LeafBucket* bucket = store_.peek(loc.key);
+  assert(bucket != nullptr);
+  bucket->records.push_back(record);
+  ++size_;
+  if (config_.strategy == SplitStrategy::kThreshold) {
+    thresholdSplitLoop(loc.key);
+  } else {
+    dataAwareAdjust(loc.key);
+  }
+}
+
+std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
+  const auto initiator = randomPeer();
+  const Located loc = locate(initiator, key);
+  LeafBucket* bucket = store_.peek(loc.key);
+  assert(bucket != nullptr);
+  const auto before = bucket->records.size();
+  std::erase_if(bucket->records, [&](const Record& r) {
+    return r.id == id && r.key == key;
+  });
+  const std::size_t removed = before - bucket->records.size();
+  size_ -= removed;
+  if (removed > 0) {
+    // Propagate the deletion to replica copies (tombstone message).
+    store_.shipToReplicas(loc.owner, loc.key, 16 * removed, 0);
+  }
+  if (removed > 0 && config_.strategy == SplitStrategy::kThreshold) {
+    thresholdMergeLoop(loc.key);
+  }
+  return removed;
+}
+
+mlight::index::PointResult MLightIndex::pointQuery(const Point& key) {
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const Located loc = locate(randomPeer(), key);
+  mlight::index::PointResult out;
+  const LeafBucket* bucket = store_.peek(loc.key);
+  assert(bucket != nullptr);
+  for (const auto& r : bucket->records) {
+    if (r.key == key) out.records.push_back(r);
+  }
+  out.stats.cost = meter;
+  out.stats.rounds = loc.probes;
+  out.stats.latencyMs = loc.ms;
+  return out;
+}
+
+void MLightIndex::installTreeForTesting(const std::vector<Label>& leaves) {
+  MLIGHT_CHECK(size_ == 0, "installTreeForTesting requires an empty index");
+  double volume = 0.0;
+  for (const Label& leaf : leaves) {
+    MLIGHT_CHECK(isTreeNodeLabel(leaf, config_.dims), "bad leaf label");
+    volume += labelRegion(leaf, config_.dims).volume();
+  }
+  MLIGHT_CHECK(std::abs(volume - 1.0) < 1e-9,
+               "leaves must tile the unit cube");
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    for (std::size_t j = 0; j < leaves.size(); ++j) {
+      MLIGHT_CHECK(i == j || !leaves[i].isPrefixOf(leaves[j]),
+                   "leaf set is not prefix-free");
+    }
+  }
+  // Drop the bootstrap root bucket, then install one empty bucket per
+  // leaf under its f_md key (placement is free: tree construction is not
+  // part of any measured workload).
+  store_.erase(naming(rootLabel(config_.dims), config_.dims));
+  for (const Label& leaf : leaves) {
+    const Label key = naming(leaf, config_.dims);
+    MLIGHT_CHECK(store_.peek(key) == nullptr,
+                 "duplicate key — leaves do not form a valid tree");
+    LeafBucket bucket;
+    bucket.label = leaf;
+    store_.placeLocal(key, std::move(bucket));
+  }
+  checkInvariants();
+}
+
+std::size_t MLightIndex::emptyBucketCount() const {
+  std::size_t count = 0;
+  store_.forEach([&](const Label&, const LeafBucket& b, mlight::dht::RingId) {
+    if (b.records.empty()) ++count;
+  });
+  return count;
+}
+
+std::size_t MLightIndex::estimateDepthByProbing(std::size_t samples,
+                                                std::size_t headroom) {
+  std::size_t deepest = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    Point p(config_.dims);
+    for (std::size_t d = 0; d < config_.dims; ++d) p[d] = rng_.uniform();
+    const Located loc = locate(randomPeer(), p);
+    deepest = std::max(deepest, edgeDepth(loc.leaf, config_.dims));
+  }
+  return std::min(config_.maxEdgeDepth, deepest + headroom);
+}
+
+std::size_t MLightIndex::treeDepth() const {
+  std::size_t depth = 0;
+  store_.forEach([&](const Label&, const LeafBucket& b, mlight::dht::RingId) {
+    depth = std::max(depth, edgeDepth(b.label, config_.dims));
+  });
+  return depth;
+}
+
+void MLightIndex::checkInvariants() const {
+  const std::size_t m = config_.dims;
+  double totalVolume = 0.0;
+  std::size_t totalRecords = 0;
+  store_.forEach([&](const Label& key, const LeafBucket& b,
+                     mlight::dht::RingId owner) {
+    MLIGHT_CHECK(isTreeNodeLabel(b.label, m), "bad leaf label");
+    MLIGHT_CHECK(naming(b.label, m) == key, "bucket stored under wrong key");
+    MLIGHT_CHECK(owner == store_.ownerOf(key), "bucket on wrong peer");
+    const Rect region = labelRegion(b.label, m);
+    for (const auto& r : b.records) {
+      MLIGHT_CHECK(region.contains(r.key), "record outside leaf region");
+    }
+    totalVolume += region.volume();
+    totalRecords += b.records.size();
+  });
+  MLIGHT_CHECK(totalRecords == size_, "record count drift");
+  // Leaves of a space kd-tree tile the unit cube.
+  MLIGHT_CHECK(std::abs(totalVolume - 1.0) < 1e-9,
+               "leaves do not tile space");
+}
+
+}  // namespace mlight::core

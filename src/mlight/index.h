@@ -1,0 +1,248 @@
+// m-LIGHT: multi-dimensional Lightweight Hash Tree over a DHT.
+//
+// Public entry point of the library: implements the full index of the
+// paper — space kd-tree decomposition into leaf buckets (§3.3), the
+// m-dimensional naming function placement (§3.4), incremental tree
+// maintenance with threshold or data-aware splitting (§4), binary-search
+// lookup (§5), and recursive-forwarding range queries with the optional
+// parallel lookahead variant (§6).
+//
+// All DHT traffic flows through the shared dht::Network so costs are
+// metered in the paper's units (DHT-lookups, rounds, payload moved).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "dht/network.h"
+#include "index/index_base.h"
+#include "index/region.h"
+#include "mlight/bucket.h"
+#include "store/distributed_store.h"
+
+namespace mlight::core {
+
+enum class SplitStrategy {
+  kThreshold,  ///< split when load > θ_split, merge when siblings < θ_merge
+  kDataAware,  ///< Algorithm 1: optimal split subtree targeting load ε
+};
+
+struct MLightConfig {
+  std::size_t dims = 2;
+  /// Maximum edge depth D of the index tree (paper §5; §7 uses D = 28).
+  std::size_t maxEdgeDepth = 28;
+  SplitStrategy strategy = SplitStrategy::kThreshold;
+  std::size_t thetaSplit = 100;
+  /// Merge when two sibling leaves hold fewer than this many records
+  /// combined (θ_merge < θ_split for split/merge consistency).
+  std::size_t thetaMerge = 50;
+  /// Expected per-bucket load ε for the data-aware strategy.
+  double epsilon = 70.0;
+  /// Range-query lookahead h (§6): 1 = basic algorithm; h >= 2 forwards up
+  /// to h speculative subqueries per branch node, trading bandwidth for
+  /// latency.
+  std::size_t lookahead = 1;
+  /// Total copies of every bucket in the DHT (1 = no replication).
+  /// Replication multiplies maintenance traffic but lets the index
+  /// survive peer *crashes* (ungraceful departures) — see
+  /// store::DistributedStore.
+  std::size_t replication = 1;
+  /// Seed for initiator-peer choices (determinism).
+  std::uint64_t seed = 42;
+  /// Namespace for this index's keys in the shared DHT key space.
+  std::string dhtNamespace = "mlight/";
+};
+
+class MLightIndex final : public mlight::index::IndexBase {
+ public:
+  using Label = mlight::common::BitString;
+  using Point = mlight::common::Point;
+  using Rect = mlight::common::Rect;
+  using Record = mlight::index::Record;
+
+  MLightIndex(mlight::dht::Network& net, MLightConfig config);
+
+  // --- IndexBase -------------------------------------------------------
+  void insert(const Record& record) override;
+
+  /// Bulk-loads an *empty* index: the initiating peer partitions the
+  /// whole batch locally into the final leaf layout (using the
+  /// configured splitting strategy) and issues one DHT-put per bucket —
+  /// O(#buckets) DHT-lookups instead of O(N log D), and every record
+  /// crosses the wire exactly once instead of being re-shipped by later
+  /// splits.  Throws std::logic_error if the index already holds data.
+  void bulkLoad(std::span<const Record> records);
+  std::size_t erase(const Point& key, std::uint64_t id) override;
+  mlight::index::RangeResult rangeQuery(const Rect& range) override;
+  mlight::index::PointResult pointQuery(const Point& key) override;
+  std::size_t size() const override { return size_; }
+
+  // --- m-LIGHT-specific operations -------------------------------------
+
+  /// The lookup operation of §5: returns the label of the leaf bucket
+  /// covering δ plus the cost of the binary search.
+  struct LookupResult {
+    Label leaf;
+    mlight::index::QueryStats stats;
+  };
+  LookupResult lookup(const Point& key);
+
+  /// Range query over an arbitrarily shaped region (§6: "the queried
+  /// region can be of an arbitrary shape") — forwarding prunes on the
+  /// region's cell-overlap test, results filter on exact containment.
+  /// rangeQuery(Rect) is the RectRegion special case.
+  mlight::index::RangeResult regionQuery(
+      const mlight::index::QueryRegion& region);
+
+  /// Aggregate range query: COUNT of records in `range` without shipping
+  /// the records themselves back to the initiator — same DHT-lookups as
+  /// rangeQuery, but the result traffic is a fixed few bytes per visited
+  /// bucket instead of the full payload.
+  struct CountResult {
+    std::size_t count = 0;
+    mlight::index::QueryStats stats;
+  };
+  CountResult rangeCount(const Rect& range);
+
+  /// k-nearest-neighbour query (extension beyond the paper, built on the
+  /// index's own primitives): finds the k records closest to `q` in
+  /// Euclidean distance by expanding-range search — start from the leaf
+  /// covering q, then grow a box until the k-th candidate's distance is
+  /// certified.  Ties broken by record id.  Cost includes every range
+  /// probe issued along the way.
+  struct KnnResult {
+    std::vector<Record> records;  ///< up to k records, nearest first
+    mlight::index::QueryStats stats;
+  };
+  KnnResult knnQuery(const Point& q, std::size_t k);
+
+  /// Linear-probing lookup used only by the lookup ablation benchmark:
+  /// probes candidate prefixes top-down (deduplicating consecutive
+  /// candidates that share a name) instead of binary searching.
+  LookupResult lookupLinear(const Point& key);
+
+  /// Logical maintenance traffic breakdown (counted even when a bucket
+  /// happens to land on the same peer, unlike the network meter, so the
+  /// ablation numbers do not depend on hashing luck).
+  struct MaintenanceBreakdown {
+    std::uint64_t insertShipBytes = 0;  ///< records shipped into leaves
+    std::uint64_t splitShipBytes = 0;   ///< bucket bytes re-assigned at splits
+    std::uint64_t splitBucketMoves = 0; ///< buckets re-keyed at splits
+    std::uint64_t splitStayLocal = 0;   ///< children that kept the old key
+    std::uint64_t mergeShipBytes = 0;   ///< bucket bytes moved at merges
+  };
+  const MaintenanceBreakdown& maintenanceBreakdown() const noexcept {
+    return breakdown_;
+  }
+
+  /// Adjusts the range-query lookahead h at runtime (benchmarks sweep h
+  /// over one loaded index instead of rebuilding per variant).
+  void setLookahead(std::size_t h) noexcept { config_.lookahead = h; }
+
+  /// One probe of a lookup or range query, in issue order.  Rounds start
+  /// at 1; sequential binary-search probes each get their own round.
+  struct TraceEvent {
+    std::size_t round = 0;
+    Label key;        ///< DHT key probed (f_md of the target)
+    Label foundLeaf;  ///< label of the bucket found (empty on NULL)
+    bool hit = false;
+  };
+
+  /// Installs a probe trace sink (nullptr to disable).  Used by tests to
+  /// verify the paper's worked probe sequences and by the shell's
+  /// `trace` mode; negligible overhead when disabled.
+  void setTracer(std::vector<TraceEvent>* sink) noexcept { trace_ = sink; }
+
+  // --- introspection (tests, benchmarks) -------------------------------
+  const MLightConfig& config() const noexcept { return config_; }
+  std::size_t bucketCount() const noexcept { return store_.bucketCount(); }
+  std::size_t emptyBucketCount() const;
+
+  /// Deepest leaf currently in the tree (edge depth; global scan — a
+  /// simulator-only convenience).
+  std::size_t treeDepth() const;
+
+  /// §5's distributed D estimation: "the maximum possible height of the
+  /// index tree ... can be estimated by apriori knowledge or by probing
+  /// certain values before query processing [8], [11]".  Performs
+  /// `samples` lookups of random points (normal metered DHT traffic) and
+  /// returns the deepest leaf seen plus `headroom` levels of slack — a
+  /// working upper bound a client can use as its D.
+  std::size_t estimateDepthByProbing(std::size_t samples,
+                                     std::size_t headroom = 4);
+
+  /// Invariant check (test hook): every bucket is stored under
+  /// key == f_md(label), labels tile the space, record keys lie inside
+  /// their leaf region.  Aborts via assertion text on violation.
+  void checkInvariants() const;
+
+  /// Test/bench hook: replaces the current (empty) index with exactly the
+  /// given tree shape — `leaves` must be the leaf set of a full binary
+  /// space kd-tree (validated).  Used to reproduce the paper's worked
+  /// examples (§5 lookup trace, §6 range trace) against the exact trees
+  /// of Figs 1 and 4.  Precondition: size() == 0.
+  void installTreeForTesting(const std::vector<Label>& leaves);
+
+  const mlight::store::DistributedStore<LeafBucket>& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  struct Located {
+    Label key;    ///< DHT key of the leaf bucket (= f_md(leaf)).
+    Label leaf;   ///< Leaf label covering the probed point.
+    mlight::dht::RingId owner;
+    std::size_t probes = 0;
+    double ms = 0.0;  ///< accumulated routing latency (sequential probes)
+  };
+
+  /// §5 binary search over candidate prefixes.  Meters one DHT-lookup per
+  /// probe; probes are sequential (rounds == probes).  `hiCap` bounds the
+  /// initial upper edge-depth when the caller already knows the leaf is
+  /// shallow (the range query's NULL-at-LCA fallback).
+  Located locate(mlight::dht::RingId initiator, const Point& p,
+                 std::size_t hiCap = static_cast<std::size_t>(-1));
+
+  mlight::dht::RingId randomPeer();
+
+  void thresholdSplitLoop(Label key);
+  void dataAwareAdjust(const Label& key);
+  void thresholdMergeLoop(Label key);
+
+  /// One range-query forwarding step (Algorithm 3 body).
+  struct Task {
+    Rect range;
+    Label target;    ///< node whose f_md key is probed (may be speculative)
+    Label fallback;  ///< in-tree node to re-probe if speculation missed
+    mlight::dht::RingId source;
+    /// Edge depth of the last leaf seen on this chain: speculative pieces
+    /// never descend past depthHint - 1, which keeps overshoots (wasted
+    /// rounds) rare on trees of roughly uniform local depth.
+    std::size_t depthHint = 0;
+  };
+  void enqueueForward(std::vector<Task>& wave, const Rect& subRange,
+                      const Label& branch, mlight::dht::RingId source,
+                      std::size_t depthHint);
+
+  /// Shared engine behind regionQuery/rangeCount: when `collectRecords`
+  /// is false only counts flow back (8 bytes per visited bucket).
+  mlight::index::RangeResult regionQueryCore(
+      const mlight::index::QueryRegion& region, bool collectRecords,
+      std::size_t& countOut);
+
+  mlight::dht::Network* net_;
+  MLightConfig config_;
+  mlight::store::DistributedStore<LeafBucket> store_;
+  mlight::common::Rng rng_;
+  MaintenanceBreakdown breakdown_;
+  std::vector<TraceEvent>* trace_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mlight::core

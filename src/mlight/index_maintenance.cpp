@@ -1,0 +1,212 @@
+// MLightIndex maintenance paths: bulk loading, threshold split/merge
+// loops (§4.1, Theorem 5) and the data-aware adjustment (§4.2,
+// Algorithm 1).
+#include "mlight/index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+#include "mlight/split.h"
+
+namespace mlight::core {
+
+namespace {
+
+/// Recursive threshold partition for bulk loading: split every cell with
+/// more than theta records (depth-capped), keeping record ownership.
+void thresholdPartition(const mlight::common::BitString& label,
+                        const mlight::common::Rect& region,
+                        std::vector<mlight::index::Record> records,
+                        std::size_t theta, std::size_t dims,
+                        std::size_t maxEdgeDepth,
+                        std::vector<PlanLeaf>& out) {
+  if (records.size() <= theta ||
+      edgeDepth(label, dims) >= maxEdgeDepth) {
+    out.push_back(PlanLeaf{label, std::move(records)});
+    return;
+  }
+  auto [lo, hi] = partitionOnce(label, region, records, dims);
+  const std::size_t dim = splitDimension(edgeDepth(label, dims), dims);
+  thresholdPartition(label.withBack(false), region.halved(dim, false),
+                     std::move(lo), theta, dims, maxEdgeDepth, out);
+  thresholdPartition(label.withBack(true), region.halved(dim, true),
+                     std::move(hi), theta, dims, maxEdgeDepth, out);
+}
+
+}  // namespace
+
+void MLightIndex::bulkLoad(std::span<const Record> records) {
+  if (size_ != 0) {
+    throw std::logic_error("bulkLoad requires an empty index");
+  }
+  for (const Record& r : records) {
+    if (r.key.dims() != config_.dims) {
+      throw std::invalid_argument("bulkLoad: wrong dimensionality");
+    }
+  }
+  const Label root = rootLabel(config_.dims);
+  std::vector<PlanLeaf> leaves;
+  if (config_.strategy == SplitStrategy::kThreshold) {
+    thresholdPartition(root, Rect::unit(config_.dims),
+                       std::vector<Record>(records.begin(), records.end()),
+                       config_.thetaSplit, config_.dims,
+                       config_.maxEdgeDepth, leaves);
+  } else {
+    SplitPlan plan =
+        planDataAwareSplit(root, Rect::unit(config_.dims), records,
+                           config_.epsilon, config_.dims,
+                           config_.maxEdgeDepth);
+    leaves = std::move(plan.leaves);
+  }
+  // Replace the bootstrap root bucket with the computed layout: one
+  // DHT-put per leaf from the initiating peer.
+  store_.erase(naming(root, config_.dims));
+  const auto initiator = randomPeer();
+  for (PlanLeaf& leaf : leaves) {
+    const Label key = naming(leaf.label, config_.dims);
+    LeafBucket bucket;
+    bucket.label = std::move(leaf.label);
+    bucket.records = std::move(leaf.records);
+    size_ += bucket.records.size();
+    breakdown_.insertShipBytes += bucket.byteSize();
+    store_.place(initiator, key, std::move(bucket));
+  }
+}
+
+void MLightIndex::thresholdSplitLoop(Label key) {
+  std::vector<Label> pending{std::move(key)};
+  while (!pending.empty()) {
+    const Label k = std::move(pending.back());
+    pending.pop_back();
+    LeafBucket* bucket = store_.peek(k);
+    if (bucket == nullptr ||
+        bucket->records.size() <= config_.thetaSplit) {
+      continue;
+    }
+    const Label lambda = bucket->label;
+    if (edgeDepth(lambda, config_.dims) >= config_.maxEdgeDepth) continue;
+
+    auto [loRecords, hiRecords] =
+        partitionOnce(lambda, labelRegion(lambda, config_.dims),
+                      bucket->records, config_.dims);
+    const Label child0 = lambda.withBack(false);
+    const Label child1 = lambda.withBack(true);
+    const Label key0 = naming(child0, config_.dims);
+    const Label key1 = naming(child1, config_.dims);
+    // Theorem 5 (incremental split): one child keeps the parent's DHT key
+    // and never leaves this peer; only the other is re-assigned.
+    MLIGHT_CHECK(
+        (key0 == k && key1 == lambda) || (key1 == k && key0 == lambda),
+        "Theorem 5 violated");
+    const bool child0Stays = (key0 == k);
+
+    LeafBucket stay;
+    stay.label = child0Stays ? child0 : child1;
+    stay.records = child0Stays ? std::move(loRecords) : std::move(hiRecords);
+    LeafBucket move;
+    move.label = child0Stays ? child1 : child0;
+    move.records = child0Stays ? std::move(hiRecords) : std::move(loRecords);
+
+    const auto owner = store_.ownerOf(k);
+    MLIGHT_CHECK(store_.peek(lambda) == nullptr,
+                 "naming bijection violated");
+    breakdown_.splitStayLocal += 1;
+    breakdown_.splitShipBytes += move.byteSize();
+    breakdown_.splitBucketMoves += 1;
+    store_.placeLocal(k, std::move(stay));
+    store_.place(owner, lambda, std::move(move));  // one DHT-put
+
+    pending.push_back(k);
+    pending.push_back(lambda);
+  }
+}
+
+void MLightIndex::dataAwareAdjust(const Label& key) {
+  LeafBucket* bucket = store_.peek(key);
+  assert(bucket != nullptr);
+  const Label lambda = bucket->label;
+  SplitPlan plan = planDataAwareSplit(
+      lambda, labelRegion(lambda, config_.dims), bucket->records,
+      config_.epsilon, config_.dims, config_.maxEdgeDepth);
+  if (!plan.splits()) return;
+
+  const auto owner = store_.ownerOf(key);
+  bool placedStay = false;
+  for (PlanLeaf& leaf : plan.leaves) {
+    const Label leafKey = naming(leaf.label, config_.dims);
+    LeafBucket newBucket;
+    newBucket.label = std::move(leaf.label);
+    newBucket.records = std::move(leaf.records);
+    if (leafKey == key) {
+      // The one leaf named to the old key stays on this peer (Theorem 5
+      // generalized to whole split subtrees).
+      breakdown_.splitStayLocal += 1;
+      store_.placeLocal(leafKey, std::move(newBucket));
+      placedStay = true;
+    } else {
+      MLIGHT_CHECK(store_.peek(leafKey) == nullptr,
+                   "naming bijection violated");
+      breakdown_.splitShipBytes += newBucket.byteSize();
+      breakdown_.splitBucketMoves += 1;
+      store_.place(owner, leafKey, std::move(newBucket));
+    }
+  }
+  MLIGHT_CHECK(placedStay, "exactly one plan leaf must keep the old key");
+}
+
+void MLightIndex::thresholdMergeLoop(Label key) {
+  for (;;) {
+    LeafBucket* bucket = store_.peek(key);
+    if (bucket == nullptr) return;
+    const Label lambda = bucket->label;
+    if (lambda == rootLabel(config_.dims)) return;
+
+    const Label sib = lambda.sibling();
+    const Label parent = [&] {
+      Label p = lambda;
+      p.popBack();
+      return p;
+    }();
+    // Probe the sibling (one DHT-lookup).  The bucket under f_md(sibling)
+    // is the sibling itself iff the sibling is a leaf.
+    const Label sibKey = naming(sib, config_.dims);
+    const auto found = store_.routeAndFind(store_.ownerOf(key), sibKey);
+    MLIGHT_CHECK(found.bucket != nullptr, "tree keys must be dense");
+    if (found.bucket->label != sib) return;  // sibling is internal
+    if (bucket->records.size() + found.bucket->records.size() >=
+        config_.thetaMerge) {
+      return;
+    }
+
+    // Merge: children of `parent` sit under keys {f_md(parent), parent};
+    // the one under f_md(parent) absorbs the other (one bucket transfer).
+    const Label stayKey = naming(parent, config_.dims);
+    MLIGHT_CHECK((key == stayKey && sibKey == parent) ||
+                     (key == parent && sibKey == stayKey),
+                 "Theorem 5 (merge) violated");
+    LeafBucket merged;
+    merged.label = parent;
+    merged.records = bucket->records;
+    merged.records.insert(merged.records.end(),
+                          found.bucket->records.begin(),
+                          found.bucket->records.end());
+
+    const LeafBucket* moving = store_.peek(parent);
+    assert(moving != nullptr);
+    breakdown_.mergeShipBytes += moving->byteSize();
+    net_->shipPayload(store_.ownerOf(parent), store_.ownerOf(stayKey),
+                      moving->byteSize(), moving->recordCount());
+    store_.erase(parent);
+    store_.placeLocal(stayKey, std::move(merged));
+    key = stayKey;  // the merged leaf may merge again with *its* sibling
+  }
+}
+
+}  // namespace mlight::core

@@ -1,0 +1,256 @@
+// MLightIndex query processing: the recursive-forwarding range/region
+// algorithm of §6 (Algorithms 2–3) with the parallel-h variant.
+#include "mlight/index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+#include "mlight/split.h"
+
+namespace mlight::core {
+
+namespace {
+
+/// Collects bucket records inside both the task's rectangular scope
+/// (which keeps parallel tasks disjoint) and the query region's shape.
+void collectInRegion(const LeafBucket& bucket, const Rect& scope,
+                     const mlight::index::QueryRegion& region,
+                     std::vector<mlight::index::Record>& out) {
+  for (const auto& r : bucket.records) {
+    if (scope.contains(r.key) && region.contains(r.key)) {
+      out.push_back(r);
+    }
+  }
+}
+
+}  // namespace
+
+void MLightIndex::enqueueForward(std::vector<Task>& wave,
+                                 const Rect& subRange, const Label& branch,
+                                 mlight::dht::RingId source,
+                                 std::size_t depthHint) {
+  if (config_.lookahead <= 1) {
+    wave.push_back(Task{subRange, branch, branch, source, depthHint});
+    return;
+  }
+  // Parallel variant (§6): speculatively descend the globally-known space
+  // partition below the branch node, splitting the subrange into up to h
+  // pieces probed in the same round.  Pieces that overshoot the real tree
+  // fall back to re-probing the branch node itself next round; the depth
+  // hint (local leaf depth observed so far) keeps that rare.
+  const std::size_t maxPieceDepth = std::min(
+      config_.maxEdgeDepth,
+      std::max(edgeDepth(branch, config_.dims), depthHint));
+  std::vector<std::pair<Rect, Label>> pieces{{subRange, branch}};
+  std::size_t cursor = 0;
+  while (pieces.size() < config_.lookahead && cursor < pieces.size()) {
+    const auto [range, node] = pieces[cursor];
+    if (edgeDepth(node, config_.dims) >= maxPieceDepth) {
+      ++cursor;
+      continue;
+    }
+    const std::size_t dim =
+        splitDimension(edgeDepth(node, config_.dims), config_.dims);
+    const Rect region = labelRegion(node, config_.dims);
+    const Rect loPart = range.intersection(region.halved(dim, false));
+    const Rect hiPart = range.intersection(region.halved(dim, true));
+    std::vector<std::pair<Rect, Label>> expanded;
+    if (!loPart.empty()) expanded.emplace_back(loPart, node.withBack(false));
+    if (!hiPart.empty()) expanded.emplace_back(hiPart, node.withBack(true));
+    if (expanded.size() <= 1 && pieces.size() == 1 && expanded.size() == 1) {
+      // Degenerate: the whole subrange sits in one child; descending
+      // keeps one piece but gets closer to the data.
+      pieces[cursor] = expanded.front();
+      continue;
+    }
+    if (expanded.empty()) {
+      ++cursor;
+      continue;
+    }
+    pieces.erase(pieces.begin() + static_cast<std::ptrdiff_t>(cursor));
+    pieces.insert(pieces.end(), expanded.begin(), expanded.end());
+  }
+  for (auto& [range, node] : pieces) {
+    wave.push_back(Task{range, node, branch, source, depthHint});
+  }
+}
+
+mlight::index::RangeResult MLightIndex::rangeQuery(const Rect& range) {
+  if (range.dims() != config_.dims) {
+    throw std::invalid_argument("rangeQuery: wrong dimensionality");
+  }
+  const mlight::index::RectRegion region(range);
+  return regionQuery(region);
+}
+
+mlight::index::RangeResult MLightIndex::regionQuery(
+    const mlight::index::QueryRegion& region) {
+  std::size_t count = 0;
+  return regionQueryCore(region, /*collectRecords=*/true, count);
+}
+
+MLightIndex::CountResult MLightIndex::rangeCount(const Rect& range) {
+  if (range.dims() != config_.dims) {
+    throw std::invalid_argument("rangeCount: wrong dimensionality");
+  }
+  const mlight::index::RectRegion region(range);
+  CountResult out;
+  const auto res =
+      regionQueryCore(region, /*collectRecords=*/false, out.count);
+  out.stats = res.stats;
+  return out;
+}
+
+mlight::index::RangeResult MLightIndex::regionQueryCore(
+    const mlight::index::QueryRegion& region, bool collectRecords,
+    std::size_t& countOut) {
+  mlight::index::RangeResult out;
+  const Rect box = region.boundingBox();
+  if (box.dims() != config_.dims) {
+    throw std::invalid_argument("regionQuery: wrong dimensionality");
+  }
+  const Rect clipped = box.intersection(Rect::unit(config_.dims));
+  if (clipped.empty()) return out;
+
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const auto initiator = randomPeer();
+  std::size_t rounds = 1;
+  double latencyMs = 0.0;
+  countOut = 0;
+
+  // Collects from one visited bucket and ships the result (full records
+  // or an 8-byte count) from the bucket's owner back to the initiator.
+  const auto harvest = [&](const LeafBucket& bucket, const Rect& scopeRect,
+                           mlight::dht::RingId owner) {
+    std::vector<mlight::index::Record> hits;
+    collectInRegion(bucket, scopeRect, region, hits);
+    countOut += hits.size();
+    if (collectRecords) {
+      std::size_t bytes = 0;
+      for (const auto& r : hits) bytes += r.byteSize();
+      net_->shipPayload(owner, initiator, bytes, hits.size());
+      out.records.insert(out.records.end(),
+                         std::make_move_iterator(hits.begin()),
+                         std::make_move_iterator(hits.end()));
+    } else if (!hits.empty()) {
+      net_->shipPayload(owner, initiator, 8, 0);  // the count only
+    }
+  };
+
+  // Algorithm 2: forward to the LCA's name; the probe reaches a corner
+  // cell of the LCA region (Theorem 1).
+  const Label omega =
+      lowestCommonAncestor(clipped, config_.dims, config_.maxEdgeDepth);
+  const Label omegaKey = naming(omega, config_.dims);
+  const auto first = store_.routeAndFind(initiator, omegaKey);
+  latencyMs += first.ms;
+  if (trace_ != nullptr) {
+    trace_->push_back(TraceEvent{
+        1, omegaKey,
+        first.bucket != nullptr ? first.bucket->label : Label{},
+        first.bucket != nullptr});
+  }
+
+  std::vector<Task> wave;
+  if (first.bucket == nullptr) {
+    // f_md(ω) is not an internal node, so a single leaf covers the whole
+    // range; find it with a point lookup of the range's corner.  The
+    // failed probe already proved the leaf is no deeper than f_md(ω).
+    const Located loc =
+        locate(first.owner, clipped.lo(),
+               omegaKey.size() >= config_.dims + 1
+                   ? edgeDepth(omegaKey, config_.dims)
+                   : std::size_t{0});
+    rounds += loc.probes;
+    latencyMs += loc.ms;
+    const LeafBucket* bucket = store_.peek(loc.key);
+    assert(bucket != nullptr);
+    harvest(*bucket, clipped, loc.owner);
+  } else {
+    const Label& leafLabel = first.bucket->label;
+    harvest(*first.bucket, clipped, first.owner);
+    // ω may be below the local leaf level; f_md(ω) is always a prefix of
+    // the found leaf, so branch enumeration stays valid either way.
+    const Label& base = omega.isPrefixOf(leafLabel) ? omega : omegaKey;
+    const std::size_t hint = edgeDepth(leafLabel, config_.dims);
+    // The base can be the virtual root (when f_md(ω) = 0...0); its only
+    // real child is the root #, which has no sibling, so branch
+    // enumeration starts below the root.
+    const std::size_t firstLen = std::max(base.size() + 1, config_.dims + 2);
+    for (std::size_t len = firstLen; len <= leafLabel.size(); ++len) {
+      const Label branch = leafLabel.prefix(len).sibling();
+      const Rect branchRegion = labelRegion(branch, config_.dims);
+      const Rect sub = clipped.intersection(branchRegion);
+      if (!sub.empty() && region.intersects(branchRegion)) {
+        enqueueForward(wave, sub, branch, first.owner, hint);
+      }
+    }
+  }
+
+  // Breadth-first waves: every task in a wave is an independent parallel
+  // DHT-lookup, so one wave costs one round of latency.
+  while (!wave.empty()) {
+    ++rounds;
+    mlight::index::WaveLatency waveLatency;
+    std::vector<Task> next;
+    for (const Task& task : wave) {
+      const Label key = naming(task.target, config_.dims);
+      const auto found = store_.routeAndFind(task.source, key);
+      waveLatency.add(task.source, found.ms);
+      if (trace_ != nullptr) {
+        trace_->push_back(TraceEvent{
+            rounds, key,
+            found.bucket != nullptr ? found.bucket->label : Label{},
+            found.bucket != nullptr});
+      }
+      if (found.bucket == nullptr) {
+        // Speculation overshot the real tree; retry the in-tree branch
+        // node without speculation.
+        assert(task.target != task.fallback);
+        next.push_back(Task{task.range, task.fallback, task.fallback,
+                            found.owner, task.depthHint});
+        continue;
+      }
+      const Label& leafLabel = found.bucket->label;
+      if (task.target.isPrefixOf(leafLabel)) {
+        harvest(*found.bucket, task.range, found.owner);
+        const std::size_t hint = edgeDepth(leafLabel, config_.dims);
+        for (std::size_t len = task.target.size() + 1;
+             len <= leafLabel.size(); ++len) {
+          const Label branch = leafLabel.prefix(len).sibling();
+          const Rect branchRegion = labelRegion(branch, config_.dims);
+          const Rect sub = task.range.intersection(branchRegion);
+          if (!sub.empty() && region.intersects(branchRegion)) {
+            enqueueForward(next, sub, branch, found.owner, hint);
+          }
+        }
+      } else if (labelRegion(leafLabel, config_.dims)
+                     .containsRect(task.range)) {
+        // Speculative probe landed on a leaf that covers the whole piece.
+        harvest(*found.bucket, task.range, found.owner);
+      } else {
+        // Mismatched speculative hit: fall back to the in-tree node.
+        assert(task.target != task.fallback);
+        next.push_back(Task{task.range, task.fallback, task.fallback,
+                            found.owner, task.depthHint});
+      }
+    }
+    wave = std::move(next);
+    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
+  }
+
+  out.stats.cost = meter;
+  out.stats.rounds = rounds;
+  out.stats.latencyMs = latencyMs;
+  return out;
+}
+
+}  // namespace mlight::core

@@ -1,0 +1,33 @@
+#include "mlight/kdspace.h"
+
+#include <cassert>
+
+#include "common/zorder.h"
+
+namespace mlight::core {
+
+Rect labelRegion(const BitString& label, std::size_t dims) {
+  assert(isTreeNodeLabel(label, dims));
+  Rect cell = Rect::unit(dims);
+  for (std::size_t pos = dims + 1; pos < label.size(); ++pos) {
+    const std::size_t depth = pos - (dims + 1);
+    cell = cell.halved(splitDimension(depth, dims), label.bit(pos));
+  }
+  return cell;
+}
+
+BitString pointPathLabel(const Point& p, std::size_t dims,
+                         std::size_t maxEdgeDepth) {
+  BitString label = rootLabel(dims);
+  label.append(mlight::common::interleave(p, maxEdgeDepth));
+  return label;
+}
+
+BitString lowestCommonAncestor(const Rect& r, std::size_t dims,
+                               std::size_t maxEdgeDepth) {
+  BitString label = rootLabel(dims);
+  label.append(mlight::common::lowestCoveringPath(r, dims, maxEdgeDepth));
+  return label;
+}
+
+}  // namespace mlight::core

@@ -1,0 +1,45 @@
+// Geometry of space kd-tree labels (paper §3.2).
+//
+// The space kd-tree partitions [0,1)^m by halving one dimension per level,
+// cycling through the dimensions in the paper's order (last dimension
+// first; see common/zorder.h).  Because partitioning ignores the data,
+// every peer can locally compute the region of any label, the full path of
+// any point, and the lowest common ancestor of any rectangle — the
+// property that makes distributed query processing possible.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitstring.h"
+#include "common/geometry.h"
+#include "common/zorder.h"
+#include "mlight/naming.h"
+
+namespace mlight::core {
+
+using mlight::common::BitString;
+using mlight::common::Point;
+using mlight::common::Rect;
+
+/// Data region of a tree node label (root # covers the unit cube; each
+/// edge bit halves the dimension of its depth).
+Rect labelRegion(const BitString& label, std::size_t dims);
+
+/// The deepest possible label of the cell containing `p`:
+/// # followed by maxEdgeDepth interleaved coordinate bits.  Every
+/// candidate leaf label of p is a prefix of this (of length >= dims+1).
+BitString pointPathLabel(const Point& p, std::size_t dims,
+                         std::size_t maxEdgeDepth);
+
+/// Label of the lowest tree node whose region fully covers `r` (the LCA
+/// of the range, §6), descending at most maxEdgeDepth edges.
+BitString lowestCommonAncestor(const Rect& r, std::size_t dims,
+                               std::size_t maxEdgeDepth);
+
+/// Dimension split by a node at the given edge depth.
+inline std::size_t splitDimension(std::size_t edgeDepthValue,
+                                  std::size_t dims) noexcept {
+  return mlight::common::dimensionAtDepth(edgeDepthValue, dims);
+}
+
+}  // namespace mlight::core

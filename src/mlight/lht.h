@@ -1,0 +1,104 @@
+// LHT: the authors' one-dimensional predecessor system (Tang & Zhou,
+// ICDCS'08, paper [12]), provided as a thin typed façade over m-LIGHT.
+//
+// §2.1: "LHT fills internal nodes with data by an elegant mapping
+// mechanism ... Nevertheless, LHT can deal with one-dimensional data
+// only."  m-LIGHT with m = 1 degenerates to exactly that structure — the
+// kd-tree becomes a binary interval tree and f_md reduces to LHT's
+// naming function — so the façade adapts scalar keys/intervals onto the
+// 2-D-generalized machinery and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dht/network.h"
+#include "mlight/index.h"
+
+namespace mlight::lht {
+
+struct LhtConfig {
+  std::size_t maxDepth = 28;
+  std::size_t thetaSplit = 100;
+  std::size_t thetaMerge = 50;
+  std::uint64_t seed = 42;
+  std::string dhtNamespace = "lht/";
+};
+
+/// One-dimensional record: scalar key in [0, 1).
+struct LhtRecord {
+  double key = 0.0;
+  std::string payload;
+  std::uint64_t id = 0;
+};
+
+class LhtIndex {
+ public:
+  LhtIndex(mlight::dht::Network& net, const LhtConfig& config)
+      : inner_(net, toMLightConfig(config)) {}
+
+  void insert(const LhtRecord& record) {
+    inner_.insert(toRecord(record));
+  }
+
+  std::size_t erase(double key, std::uint64_t id) {
+    return inner_.erase(mlight::common::Point{key}, id);
+  }
+
+  /// All records with key in [lo, hi).
+  struct RangeResult {
+    std::vector<LhtRecord> records;
+    mlight::index::QueryStats stats;
+  };
+  RangeResult rangeQuery(double lo, double hi) {
+    auto res = inner_.rangeQuery(mlight::common::Rect(
+        mlight::common::Point{lo}, mlight::common::Point{hi}));
+    RangeResult out;
+    out.stats = res.stats;
+    out.records.reserve(res.records.size());
+    for (const auto& r : res.records) out.records.push_back(fromRecord(r));
+    return out;
+  }
+
+  RangeResult pointQuery(double key) {
+    auto res = inner_.pointQuery(mlight::common::Point{key});
+    RangeResult out;
+    out.stats = res.stats;
+    for (const auto& r : res.records) out.records.push_back(fromRecord(r));
+    return out;
+  }
+
+  std::size_t size() const { return inner_.size(); }
+  std::size_t bucketCount() const { return inner_.bucketCount(); }
+  void checkInvariants() const { inner_.checkInvariants(); }
+
+  /// The generalized index underneath (tests verify the degeneration).
+  mlight::core::MLightIndex& inner() noexcept { return inner_; }
+
+ private:
+  static mlight::core::MLightConfig toMLightConfig(const LhtConfig& c) {
+    mlight::core::MLightConfig cfg;
+    cfg.dims = 1;
+    cfg.maxEdgeDepth = c.maxDepth;
+    cfg.thetaSplit = c.thetaSplit;
+    cfg.thetaMerge = c.thetaMerge;
+    cfg.seed = c.seed;
+    cfg.dhtNamespace = c.dhtNamespace;
+    return cfg;
+  }
+  static mlight::index::Record toRecord(const LhtRecord& r) {
+    mlight::index::Record out;
+    out.key = mlight::common::Point{r.key};
+    out.payload = r.payload;
+    out.id = r.id;
+    return out;
+  }
+  static LhtRecord fromRecord(const mlight::index::Record& r) {
+    return LhtRecord{r.key[0], r.payload, r.id};
+  }
+
+  mlight::core::MLightIndex inner_;
+};
+
+}  // namespace mlight::lht

@@ -1,0 +1,37 @@
+#include "mlight/naming.h"
+
+#include <cassert>
+
+namespace mlight::core {
+
+BitString virtualRootLabel(std::size_t dims) {
+  return BitString::repeated(false, dims);
+}
+
+BitString rootLabel(std::size_t dims) {
+  BitString label = BitString::repeated(false, dims);
+  label.pushBack(true);
+  return label;
+}
+
+bool isTreeNodeLabel(const BitString& label, std::size_t dims) {
+  return label.size() >= dims + 1 &&
+         rootLabel(dims).isPrefixOf(label);
+}
+
+BitString naming(const BitString& label, std::size_t dims) {
+  assert(isTreeNodeLabel(label, dims));
+  BitString out = label;
+  for (;;) {
+    const std::size_t i = out.size();
+    // 1-based b_i is out.bit(i-1); b_{i-m} is out.bit(i-1-dims).
+    const bool same = out.bit(i - 1) == out.bit(i - 1 - dims);
+    out.popBack();
+    if (!same) return out;
+    // The root # always terminates the recursion: its last bit is 1 and
+    // b_{i-m} is the leading 0, so `same` is false at length m+1.
+    assert(out.size() >= dims + 1);
+  }
+}
+
+}  // namespace mlight::core

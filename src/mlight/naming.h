@@ -1,0 +1,50 @@
+// The m-dimensional naming function f_md (paper §3.4, Definitions 1–2).
+//
+// Labels of the space kd-tree: the *virtual root* is m zero bits, the
+// ordinary root # is m-1 zeros followed by a 1, and each further bit is an
+// edge label (0 = left/lower child, 1 = right/upper child).  The naming
+// function maps every leaf label to the label of an internal node:
+//
+//     f_md(b1..bi) = f_md(b1..b_{i-1})   if b_{i-m} == b_i,
+//                    b1..b_{i-1}         otherwise.
+//
+// Intuitively it climbs to the lowest ancestor that is not aligned with
+// the leaf in quadrant position.  Its properties drive the whole index:
+//  * Theorem 1/3 (corner preservation): the 2^m corner cells of internal
+//    node ω are named f_md(ω), ω, ω0, ω1, ..., ω1..1;
+//  * Theorem 2/4 (bijection): f_md maps the leaf set one-to-one onto the
+//    internal node set (virtual root included);
+//  * Theorem 5 (incremental split): of the two children of a split leaf
+//    λ, one is named f_md(λ) (keeps the parent's DHT key — no transfer)
+//    and the other is named λ.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitstring.h"
+
+namespace mlight::core {
+
+using mlight::common::BitString;
+
+/// Virtual root label: m consecutive zeros.
+BitString virtualRootLabel(std::size_t dims);
+
+/// Ordinary root label # = 0...01 (m bits of zero-prefix, then 1).
+BitString rootLabel(std::size_t dims);
+
+/// True iff `label` is the root or a descendant (valid tree node label):
+/// at least m+1 bits and begins with #.
+bool isTreeNodeLabel(const BitString& label, std::size_t dims);
+
+/// Applies the naming function.  Precondition: isTreeNodeLabel(label).
+/// The result is always a proper prefix of `label`, of length >= m.
+BitString naming(const BitString& label, std::size_t dims);
+
+/// Edge depth of a node label: 0 for the root #, +1 per edge.
+inline std::size_t edgeDepth(const BitString& label,
+                             std::size_t dims) noexcept {
+  return label.size() - (dims + 1);
+}
+
+}  // namespace mlight::core

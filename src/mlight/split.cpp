@@ -1,0 +1,139 @@
+#include "mlight/split.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+
+namespace mlight::core {
+
+namespace {
+
+double sq(double v) noexcept { return v * v; }
+
+/// Recursive core of Algorithm 1 over index subsets (no record copies
+/// until materialization).
+struct Planner {
+  std::span<const Record> records;
+  double epsilon;
+  std::size_t dims;
+  std::size_t maxEdgeDepth;
+
+  struct Node {
+    double cost;
+    std::vector<std::pair<BitString, std::vector<std::size_t>>> leaves;
+  };
+
+  Node run(const BitString& label, const Rect& region,
+           std::vector<std::size_t> idx) const {
+    const double localCost = sq(static_cast<double>(idx.size()) - epsilon);
+    const bool atDepthCap = edgeDepth(label, dims) >= maxEdgeDepth;
+    if (static_cast<double>(idx.size()) <= epsilon || atDepthCap) {
+      Node n{localCost, {}};
+      n.leaves.emplace_back(label, std::move(idx));
+      return n;
+    }
+    const std::size_t dim = splitDimension(edgeDepth(label, dims), dims);
+    const double mid = region.mid(dim);
+    std::vector<std::size_t> loIdx;
+    std::vector<std::size_t> hiIdx;
+    for (std::size_t i : idx) {
+      (records[i].key[dim] >= mid ? hiIdx : loIdx).push_back(i);
+    }
+    Node left = run(label.withBack(false), region.halved(dim, false),
+                    std::move(loIdx));
+    Node right = run(label.withBack(true), region.halved(dim, true),
+                     std::move(hiIdx));
+    const double splitCost = left.cost + right.cost;
+    if (localCost <= splitCost) {
+      Node n{localCost, {}};
+      n.leaves.emplace_back(label, std::move(idx));
+      return n;
+    }
+    Node n{splitCost, std::move(left.leaves)};
+    n.leaves.insert(n.leaves.end(),
+                    std::make_move_iterator(right.leaves.begin()),
+                    std::make_move_iterator(right.leaves.end()));
+    return n;
+  }
+};
+
+}  // namespace
+
+std::pair<std::vector<Record>, std::vector<Record>> partitionOnce(
+    const BitString& label, const Rect& region,
+    std::span<const Record> records, std::size_t dims) {
+  const std::size_t dim = splitDimension(edgeDepth(label, dims), dims);
+  const double mid = region.mid(dim);
+  std::vector<Record> lo;
+  std::vector<Record> hi;
+  for (const Record& r : records) {
+    (r.key[dim] >= mid ? hi : lo).push_back(r);
+  }
+  return {std::move(lo), std::move(hi)};
+}
+
+SplitPlan planDataAwareSplit(const BitString& label, const Rect& region,
+                             std::span<const Record> records, double epsilon,
+                             std::size_t dims, std::size_t maxEdgeDepth) {
+  std::vector<std::size_t> idx(records.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const Planner planner{records, epsilon, dims, maxEdgeDepth};
+  Planner::Node node = planner.run(label, region, std::move(idx));
+
+  SplitPlan plan;
+  plan.cost = node.cost;
+  plan.leaves.reserve(node.leaves.size());
+  for (auto& [leafLabel, leafIdx] : node.leaves) {
+    PlanLeaf leaf;
+    leaf.label = leafLabel;
+    leaf.records.reserve(leafIdx.size());
+    for (std::size_t i : leafIdx) leaf.records.push_back(records[i]);
+    plan.leaves.push_back(std::move(leaf));
+  }
+  return plan;
+}
+
+namespace {
+
+/// Enumerates the total cost of *every* split subtree rooted at the node
+/// (independently of the DP in planDataAwareSplit, which only propagates
+/// minima): each subtree either keeps the node as a leaf or splits it and
+/// combines any pair of left/right subtree costs.
+std::vector<double> allSubtreeCosts(const BitString& label,
+                                    const Rect& region,
+                                    std::span<const Record> records,
+                                    double epsilon, std::size_t dims,
+                                    std::size_t maxEdgeDepth) {
+  std::vector<Record> owned(records.begin(), records.end());
+  std::vector<double> costs{sq(static_cast<double>(owned.size()) - epsilon)};
+  if (edgeDepth(label, dims) >= maxEdgeDepth ||
+      static_cast<double>(owned.size()) <= epsilon) {
+    return costs;
+  }
+  auto [lo, hi] = partitionOnce(label, region, owned, dims);
+  const std::size_t dim = splitDimension(edgeDepth(label, dims), dims);
+  const auto leftCosts =
+      allSubtreeCosts(label.withBack(false), region.halved(dim, false), lo,
+                      epsilon, dims, maxEdgeDepth);
+  const auto rightCosts =
+      allSubtreeCosts(label.withBack(true), region.halved(dim, true), hi,
+                      epsilon, dims, maxEdgeDepth);
+  for (double l : leftCosts) {
+    for (double r : rightCosts) costs.push_back(l + r);
+  }
+  return costs;
+}
+
+}  // namespace
+
+double bruteForceSplitCost(const BitString& label, const Rect& region,
+                           std::span<const Record> records, double epsilon,
+                           std::size_t dims, std::size_t maxEdgeDepth) {
+  const auto costs = allSubtreeCosts(label, region, records, epsilon, dims,
+                                     maxEdgeDepth);
+  return *std::min_element(costs.begin(), costs.end());
+}
+
+}  // namespace mlight::core

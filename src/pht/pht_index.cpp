@@ -1,0 +1,311 @@
+#include "pht/pht_index.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/zorder.h"
+
+namespace mlight::pht {
+
+namespace {
+
+using mlight::common::cellOfPath;
+using mlight::common::interleave;
+using mlight::common::lowestCoveringPath;
+
+void collectInRange(const PhtNode& node, const mlight::common::Rect& range,
+                    std::vector<mlight::index::Record>& out) {
+  for (const auto& r : node.records) {
+    if (range.contains(r.key)) out.push_back(r);
+  }
+}
+
+}  // namespace
+
+PhtIndex::PhtIndex(mlight::dht::Network& net, PhtConfig config)
+    : net_(&net),
+      config_(std::move(config)),
+      store_(net, config_.dhtNamespace),
+      rng_(config_.seed) {
+  if (config_.dims < 1 || config_.dims > mlight::common::kMaxDims) {
+    throw std::invalid_argument("PhtIndex: dims out of range");
+  }
+  // Bootstrap: the root (empty prefix) as an empty leaf.
+  const Label rootLabel;
+  PhtNode root;
+  store_.placeLocal(rootLabel, std::move(root));
+}
+
+mlight::dht::RingId PhtIndex::randomPeer() {
+  const auto& peers = net_->peers();
+  return peers[rng_.below(peers.size())];
+}
+
+PhtIndex::Located PhtIndex::locate(mlight::dht::RingId initiator,
+                                   const Point& p) {
+  const Label full = interleave(p, config_.maxDepth);
+  std::size_t lo = 0;
+  std::size_t hi = config_.maxDepth;
+  Located result;
+  for (;;) {
+    const std::size_t t = lo + (hi - lo) / 2;
+    const Label candidate = full.prefix(t);
+    const auto found = store_.routeAndFind(initiator, candidate);
+    ++result.probes;
+    result.ms += found.ms;
+    if (found.bucket == nullptr) {
+      // PHT probes learn only about the probed length: the prefix does
+      // not exist, so the leaf is strictly shorter.
+      assert(t > 0 && "trie root must exist");
+      hi = t - 1;
+    } else if (found.bucket->isLeaf) {
+      result.leaf = candidate;
+      result.owner = found.owner;
+      return result;
+    } else {
+      lo = t + 1;
+    }
+    assert(lo <= hi && "PHT binary search lost the target");
+  }
+}
+
+void PhtIndex::insert(const Record& record) {
+  if (record.key.dims() != config_.dims) {
+    throw std::invalid_argument("insert: wrong dimensionality");
+  }
+  const auto initiator = randomPeer();
+  const Located loc = locate(initiator, record.key);
+  net_->shipPayload(initiator, loc.owner, record.byteSize(), 1);
+  breakdown_.insertShipBytes += record.byteSize();
+  PhtNode* leaf = store_.peek(loc.leaf);
+  assert(leaf != nullptr && leaf->isLeaf);
+  leaf->records.push_back(record);
+  ++size_;
+  splitLoop(loc.leaf);
+}
+
+void PhtIndex::splitLoop(Label leafLabel) {
+  std::vector<Label> pending{std::move(leafLabel)};
+  while (!pending.empty()) {
+    const Label label = std::move(pending.back());
+    pending.pop_back();
+    PhtNode* node = store_.peek(label);
+    if (node == nullptr || !node->isLeaf ||
+        node->records.size() <= config_.thetaSplit ||
+        label.size() >= config_.maxDepth) {
+      continue;
+    }
+    // Partition records between the two children cells.
+    const std::size_t dim =
+        mlight::common::dimensionAtDepth(label.size(), config_.dims);
+    const double mid = cellOfPath(label, config_.dims).mid(dim);
+    PhtNode lo;
+    lo.label = label.withBack(false);
+    PhtNode hi;
+    hi.label = label.withBack(true);
+    for (const auto& r : node->records) {
+      (r.key[dim] >= mid ? hi : lo).records.push_back(r);
+    }
+    const auto owner = store_.ownerOf(label);
+    // The split node becomes a routing-only internal marker in place
+    // (local flag update, no DHT traffic)...
+    node->isLeaf = false;
+    node->records.clear();
+    node->records.shrink_to_fit();
+    // ...but BOTH children are assigned fresh DHT keys: two DHT-puts and
+    // the full bucket's worth of payload moves.  Compare m-LIGHT's
+    // Theorem 5 where one child stays for free.
+    const Label loLabel = lo.label;
+    const Label hiLabel = hi.label;
+    MLIGHT_CHECK(store_.peek(loLabel) == nullptr, "child already exists");
+    MLIGHT_CHECK(store_.peek(hiLabel) == nullptr, "child already exists");
+    breakdown_.splitShipBytes += lo.byteSize() + hi.byteSize();
+    breakdown_.splitBucketMoves += 2;
+    store_.place(owner, loLabel, std::move(lo));
+    store_.place(owner, hiLabel, std::move(hi));
+    pending.push_back(loLabel);
+    pending.push_back(hiLabel);
+  }
+}
+
+std::size_t PhtIndex::erase(const Point& key, std::uint64_t id) {
+  const auto initiator = randomPeer();
+  const Located loc = locate(initiator, key);
+  PhtNode* leaf = store_.peek(loc.leaf);
+  assert(leaf != nullptr);
+  const auto before = leaf->records.size();
+  std::erase_if(leaf->records, [&](const Record& r) {
+    return r.id == id && r.key == key;
+  });
+  const std::size_t removed = before - leaf->records.size();
+  size_ -= removed;
+  if (removed > 0) mergeLoop(loc.leaf);
+  return removed;
+}
+
+void PhtIndex::mergeLoop(Label leafLabel) {
+  while (!leafLabel.empty()) {
+    PhtNode* leaf = store_.peek(leafLabel);
+    if (leaf == nullptr || !leaf->isLeaf) return;
+    const Label sibLabel = leafLabel.sibling();
+    // Probe the sibling (one DHT-lookup).
+    const auto found = store_.routeAndFind(store_.ownerOf(leafLabel),
+                                           sibLabel);
+    if (found.bucket == nullptr || !found.bucket->isLeaf) return;
+    if (leaf->records.size() + found.bucket->records.size() >=
+        config_.thetaMerge) {
+      return;
+    }
+    Label parentLabel = leafLabel;
+    parentLabel.popBack();
+    // Both children's records move to the parent's peer (two transfers —
+    // m-LIGHT's merge moves only one bucket).
+    PhtNode merged;
+    merged.label = parentLabel;
+    merged.records = leaf->records;
+    merged.records.insert(merged.records.end(),
+                          found.bucket->records.begin(),
+                          found.bucket->records.end());
+    const auto parentOwner = store_.ownerOf(parentLabel);
+    breakdown_.mergeShipBytes +=
+        leaf->byteSize() + found.bucket->byteSize();
+    net_->shipPayload(store_.ownerOf(leafLabel), parentOwner,
+                      leaf->byteSize(), leaf->recordCount());
+    net_->shipPayload(found.owner, parentOwner, found.bucket->byteSize(),
+                      found.bucket->recordCount());
+    store_.erase(leafLabel);
+    store_.erase(sibLabel);
+    // The parent marker exists (every prefix of a leaf is materialized);
+    // flipping it back to a leaf is local to its peer.
+    PhtNode* parent = store_.peek(parentLabel);
+    MLIGHT_CHECK(parent != nullptr && !parent->isLeaf,
+                 "trie prefix closure violated");
+    *parent = std::move(merged);
+    parent->isLeaf = true;
+    leafLabel = parentLabel;
+  }
+}
+
+mlight::index::PointResult PhtIndex::pointQuery(const Point& key) {
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const Located loc = locate(randomPeer(), key);
+  mlight::index::PointResult out;
+  const PhtNode* leaf = store_.peek(loc.leaf);
+  assert(leaf != nullptr);
+  for (const auto& r : leaf->records) {
+    if (r.key == key) out.records.push_back(r);
+  }
+  out.stats.cost = meter;
+  out.stats.rounds = loc.probes;
+  out.stats.latencyMs = loc.ms;
+  return out;
+}
+
+mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
+  mlight::index::RangeResult out;
+  if (range.dims() != config_.dims) {
+    throw std::invalid_argument("rangeQuery: wrong dimensionality");
+  }
+  const Rect clipped =
+      range.intersection(Rect::unit(config_.dims));
+  if (clipped.empty()) return out;
+
+  mlight::dht::CostMeter meter;
+  mlight::dht::MeterScope scope(*net_, meter);
+  const auto initiator = randomPeer();
+  std::size_t rounds = 1;
+  double latencyMs = 0.0;
+
+  const Label lca =
+      lowestCoveringPath(clipped, config_.dims, config_.maxDepth);
+  const auto first = store_.routeAndFind(initiator, lca);
+  latencyMs += first.ms;
+  struct Task {
+    Label label;
+    mlight::dht::RingId source;
+  };
+  std::vector<Task> wave;
+  if (first.bucket == nullptr) {
+    // The LCA prefix is below the trie: a single leaf above it covers the
+    // whole range; find it by point lookup of the range corner.
+    const Located loc = locate(first.owner, clipped.lo());
+    rounds += loc.probes;
+    latencyMs += loc.ms;
+    const PhtNode* leaf = store_.peek(loc.leaf);
+    assert(leaf != nullptr);
+    collectInRange(*leaf, clipped, out.records);
+  } else if (first.bucket->isLeaf) {
+    collectInRange(*first.bucket, clipped, out.records);
+  } else {
+    // Internal nodes hold no data: descend the trie level by level, one
+    // round of parallel child probes per level, all the way to leaves.
+    wave.push_back(Task{lca.withBack(false), first.owner});
+    wave.push_back(Task{lca.withBack(true), first.owner});
+  }
+
+  while (!wave.empty()) {
+    ++rounds;
+    mlight::index::WaveLatency waveLatency;
+    std::vector<Task> next;
+    for (const Task& task : wave) {
+      if (!cellOfPath(task.label, config_.dims).intersects(clipped)) {
+        continue;  // pruned locally, no DHT traffic
+      }
+      const auto found = store_.routeAndFind(task.source, task.label);
+      waveLatency.add(task.source, found.ms);
+      MLIGHT_CHECK(found.bucket != nullptr, "trie prefix closure violated");
+      if (found.bucket->isLeaf) {
+        collectInRange(*found.bucket, clipped, out.records);
+      } else {
+        next.push_back(Task{task.label.withBack(false), found.owner});
+        next.push_back(Task{task.label.withBack(true), found.owner});
+      }
+    }
+    wave = std::move(next);
+    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
+  }
+
+  out.stats.cost = meter;
+  out.stats.rounds = rounds;
+  out.stats.latencyMs = latencyMs;
+  return out;
+}
+
+std::size_t PhtIndex::leafCount() const {
+  std::size_t count = 0;
+  store_.forEach([&](const Label&, const PhtNode& n, mlight::dht::RingId) {
+    if (n.isLeaf) ++count;
+  });
+  return count;
+}
+
+void PhtIndex::checkInvariants() const {
+  std::size_t totalRecords = 0;
+  double leafVolume = 0.0;
+  store_.forEach([&](const Label& key, const PhtNode& n,
+                     mlight::dht::RingId) {
+    MLIGHT_CHECK(key == n.label, "node stored under wrong key");
+    if (n.isLeaf) {
+      const Rect cell = cellOfPath(n.label, config_.dims);
+      for (const auto& r : n.records) {
+        MLIGHT_CHECK(cell.contains(r.key), "record outside leaf cell");
+      }
+      totalRecords += n.records.size();
+      leafVolume += cell.volume();
+    } else {
+      MLIGHT_CHECK(n.records.empty(), "internal node holds data");
+      MLIGHT_CHECK(store_.peek(n.label.withBack(false)) != nullptr &&
+                       store_.peek(n.label.withBack(true)) != nullptr,
+                   "internal node missing a child");
+    }
+  });
+  MLIGHT_CHECK(totalRecords == size_, "record count drift");
+  MLIGHT_CHECK(std::abs(leafVolume - 1.0) < 1e-9,
+               "leaves do not tile space");
+}
+
+}  // namespace mlight::pht

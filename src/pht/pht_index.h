@@ -1,0 +1,132 @@
+// PHT: Prefix Hash Tree baseline (Chawathe et al., SIGCOMM'05; paper [4]).
+//
+// PHT is the first over-DHT index.  For multi-dimensional data it
+// linearizes keys with a space-filling curve — the same bit interleaving
+// m-LIGHT uses — and builds a binary trie over the resulting bit strings:
+//
+//  * every trie node (prefix) is materialized in the DHT under its own
+//    label; *internal nodes hold no data* and serve as routing markers,
+//    so range queries must always traverse down to the leaves;
+//  * leaves hold up to θ_split records; a split re-assigns BOTH halves to
+//    new DHT keys (the children's labels), which is the maintenance
+//    overhead m-LIGHT's naming function avoids (Theorem 5);
+//  * lookups binary-search the prefix length, probing whether the prefix
+//    exists and is a leaf.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/serde.h"
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "dht/network.h"
+#include "index/index_base.h"
+#include "store/distributed_store.h"
+
+namespace mlight::pht {
+
+struct PhtConfig {
+  std::size_t dims = 2;
+  /// Maximum trie depth D in bits of the interleaved key (§7 uses 28).
+  std::size_t maxDepth = 28;
+  std::size_t thetaSplit = 100;
+  std::size_t thetaMerge = 50;
+  std::uint64_t seed = 43;
+  std::string dhtNamespace = "pht/";
+};
+
+/// A trie node: internal nodes are pure routing markers, leaves carry the
+/// record store.
+struct PhtNode {
+  mlight::common::BitString label;
+  bool isLeaf = true;
+  std::vector<mlight::index::Record> records;
+
+  std::size_t recordCount() const noexcept { return records.size(); }
+  std::size_t byteSize() const noexcept {
+    std::size_t bytes = 4 + 8 * ((label.size() + 63) / 64) + 1 + 4;
+    for (const auto& r : records) bytes += r.byteSize();
+    return bytes;
+  }
+
+  void serialize(mlight::common::Writer& w) const {
+    w.writeBitString(label);
+    w.writeU8(isLeaf ? 1 : 0);
+    w.writeU32(static_cast<std::uint32_t>(records.size()));
+    for (const auto& r : records) r.serialize(w);
+  }
+
+  static PhtNode deserialize(mlight::common::Reader& r) {
+    PhtNode n;
+    n.label = r.readBitString();
+    n.isLeaf = r.readU8() != 0;
+    const std::uint32_t count = r.readCount(16);
+    n.records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      n.records.push_back(mlight::index::Record::deserialize(r));
+    }
+    return n;
+  }
+};
+
+class PhtIndex final : public mlight::index::IndexBase {
+ public:
+  using Label = mlight::common::BitString;
+  using Point = mlight::common::Point;
+  using Rect = mlight::common::Rect;
+  using Record = mlight::index::Record;
+
+  PhtIndex(mlight::dht::Network& net, PhtConfig config);
+
+  void insert(const Record& record) override;
+  std::size_t erase(const Point& key, std::uint64_t id) override;
+  mlight::index::RangeResult rangeQuery(const Rect& range) override;
+  mlight::index::PointResult pointQuery(const Point& key) override;
+  std::size_t size() const override { return size_; }
+
+  /// Logical split/merge traffic (counted independently of hashing luck;
+  /// both children of every PHT split are re-assigned to fresh keys).
+  struct MaintenanceBreakdown {
+    std::uint64_t insertShipBytes = 0;
+    std::uint64_t splitShipBytes = 0;
+    std::uint64_t splitBucketMoves = 0;
+    std::uint64_t splitStayLocal = 0;  ///< always 0 for PHT
+    std::uint64_t mergeShipBytes = 0;
+  };
+  const MaintenanceBreakdown& maintenanceBreakdown() const noexcept {
+    return breakdown_;
+  }
+
+  std::size_t leafCount() const;
+  std::size_t nodeCount() const noexcept { return store_.bucketCount(); }
+  void checkInvariants() const;
+
+  const mlight::store::DistributedStore<PhtNode>& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  struct Located {
+    Label leaf;
+    mlight::dht::RingId owner;
+    std::size_t probes = 0;
+    double ms = 0.0;
+  };
+  Located locate(mlight::dht::RingId initiator, const Point& p);
+  mlight::dht::RingId randomPeer();
+  void splitLoop(Label leaf);
+  void mergeLoop(Label leaf);
+
+  mlight::dht::Network* net_;
+  PhtConfig config_;
+  mlight::store::DistributedStore<PhtNode> store_;
+  mlight::common::Rng rng_;
+  MaintenanceBreakdown breakdown_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mlight::pht

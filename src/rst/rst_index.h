@@ -1,0 +1,112 @@
+// RST: Range Search Tree baseline (Gao & Steenkiste, ICNP'04; paper [9]).
+//
+// §2.1 groups RST with DST: "To fill internal nodes, they both replicate
+// the data records of a leaf node at all its ancestors."  RST's tree is
+// *binary* over the (SFC-linearized) key space and its distinguishing
+// idea is load adaptation: a *registration band* — the top `bandCeiling`
+// levels never store data (they would be replication hotspots serving
+// every insert), and saturated nodes inside the band stop absorbing
+// records, pushing registration toward the leaves, exactly like DST's
+// saturation.  Queries decompose a range into canonical *binary*
+// segments at or below the band ceiling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "dht/network.h"
+#include "index/index_base.h"
+#include "store/distributed_store.h"
+
+namespace mlight::rst {
+
+struct RstConfig {
+  std::size_t dims = 2;
+  /// Static tree depth in interleaved bits (binary levels).
+  std::size_t maxDepth = 28;
+  /// Node capacity before saturation (plays DST's gamma role).
+  std::size_t gamma = 100;
+  /// Top levels excluded from the registration band: nodes shallower
+  /// than this never store data and queries never probe them.
+  std::size_t bandCeiling = 3;
+  std::uint64_t seed = 45;
+  std::string dhtNamespace = "rst/";
+};
+
+struct RstNode {
+  mlight::common::BitString label;
+  std::vector<mlight::index::Record> records;
+  bool complete = true;
+
+  std::size_t recordCount() const noexcept { return records.size(); }
+  std::size_t byteSize() const noexcept {
+    std::size_t bytes = 4 + 8 * ((label.size() + 63) / 64) + 1 + 4;
+    for (const auto& r : records) bytes += r.byteSize();
+    return bytes;
+  }
+
+  void serialize(mlight::common::Writer& w) const {
+    w.writeBitString(label);
+    w.writeU8(complete ? 1 : 0);
+    w.writeU32(static_cast<std::uint32_t>(records.size()));
+    for (const auto& r : records) r.serialize(w);
+  }
+
+  static RstNode deserialize(mlight::common::Reader& r) {
+    RstNode n;
+    n.label = r.readBitString();
+    n.complete = r.readU8() != 0;
+    const std::uint32_t count = r.readCount(16);
+    n.records.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      n.records.push_back(mlight::index::Record::deserialize(r));
+    }
+    return n;
+  }
+};
+
+class RstIndex final : public mlight::index::IndexBase {
+ public:
+  using Label = mlight::common::BitString;
+  using Point = mlight::common::Point;
+  using Rect = mlight::common::Rect;
+  using Record = mlight::index::Record;
+
+  RstIndex(mlight::dht::Network& net, RstConfig config);
+
+  void insert(const Record& record) override;
+  std::size_t erase(const Point& key, std::uint64_t id) override;
+  mlight::index::RangeResult rangeQuery(const Rect& range) override;
+  mlight::index::PointResult pointQuery(const Point& key) override;
+  std::size_t size() const override { return size_; }
+
+  std::size_t nodeCount() const noexcept { return store_.bucketCount(); }
+  void checkInvariants() const;
+
+  /// Canonical binary decomposition of a range into segments at or below
+  /// the band ceiling (locally computable; exposed for tests).
+  std::vector<Label> decompose(const Rect& range) const;
+
+  const mlight::store::DistributedStore<RstNode>& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  mlight::dht::RingId randomPeer();
+  void decomposeInto(const Rect& range, const Label& node,
+                     std::vector<Label>& out) const;
+
+  mlight::dht::Network* net_;
+  RstConfig config_;
+  mlight::store::DistributedStore<RstNode> store_;
+  mlight::common::Rng rng_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mlight::rst

@@ -1,0 +1,219 @@
+// Typed multi-attribute tables over m-LIGHT.
+//
+// The paper's motivating query — "songs that are rated above 4 and
+// published during 2007 and 2008" (§1) — is a range predicate over named
+// attributes, while the index itself speaks normalized [0,1)^m points
+// (§3.1).  This layer owns that translation: a Schema declares the
+// attributes and their value ranges, a Table stores rows and compiles
+// attribute predicates into index range queries.  Unconstrained
+// attributes default to their full range.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dht/network.h"
+#include "mlight/index.h"
+
+namespace mlight::schema {
+
+/// One named numeric attribute with its value domain [min, max).
+/// Values are normalized linearly onto [0, 1).
+struct Attribute {
+  std::string name;
+  double min = 0.0;
+  double max = 1.0;
+};
+
+class Schema {
+ public:
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {
+    if (attributes_.empty() ||
+        attributes_.size() > mlight::common::kMaxDims) {
+      throw std::invalid_argument("Schema: 1..kMaxDims attributes");
+    }
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+      const Attribute& a = attributes_[i];
+      if (!(a.min < a.max)) {
+        throw std::invalid_argument("Schema: attribute '" + a.name +
+                                    "' needs min < max");
+      }
+      if (!byName_.emplace(a.name, i).second) {
+        throw std::invalid_argument("Schema: duplicate attribute '" +
+                                    a.name + "'");
+      }
+    }
+  }
+
+  std::size_t dims() const noexcept { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+
+  std::size_t indexOf(std::string_view name) const {
+    const auto it = byName_.find(std::string(name));
+    if (it == byName_.end()) {
+      throw std::invalid_argument("Schema: unknown attribute '" +
+                                  std::string(name) + "'");
+    }
+    return it->second;
+  }
+
+  /// Normalizes one attribute value into [0, 1) (clamped at the domain
+  /// edges so slightly-out-of-domain values stay indexable).
+  double normalize(std::size_t i, double value) const {
+    const Attribute& a = attributes_[i];
+    const double unit = (value - a.min) / (a.max - a.min);
+    return std::clamp(unit, 0.0, std::nextafter(1.0, 0.0));
+  }
+
+  double denormalize(std::size_t i, double unit) const {
+    const Attribute& a = attributes_[i];
+    return a.min + unit * (a.max - a.min);
+  }
+
+  mlight::common::Point encode(std::span<const double> values) const {
+    if (values.size() != dims()) {
+      throw std::invalid_argument("Schema: wrong number of values");
+    }
+    mlight::common::Point p(dims());
+    for (std::size_t i = 0; i < dims(); ++i) p[i] = normalize(i, values[i]);
+    return p;
+  }
+
+  std::vector<double> decode(const mlight::common::Point& p) const {
+    std::vector<double> values(dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      values[i] = denormalize(i, p[i]);
+    }
+    return values;
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::map<std::string, std::size_t> byName_;
+};
+
+/// Conjunctive range predicate over named attributes; compiles to one
+/// index range query.  Bounds follow the half-open [lo, hi) convention.
+class Query {
+ public:
+  explicit Query(const Schema& schema) : schema_(&schema) {}
+
+  /// attribute >= value
+  Query& ge(std::string_view name, double value) {
+    lo_[schema_->indexOf(name)] = value;
+    return *this;
+  }
+  /// attribute < value
+  Query& lt(std::string_view name, double value) {
+    hi_[schema_->indexOf(name)] = value;
+    return *this;
+  }
+  /// lo <= attribute < hi
+  Query& between(std::string_view name, double lo, double hi) {
+    const std::size_t i = schema_->indexOf(name);
+    lo_[i] = lo;
+    hi_[i] = hi;
+    return *this;
+  }
+
+  mlight::common::Rect toRect() const {
+    mlight::common::Point lo(schema_->dims());
+    mlight::common::Point hi(schema_->dims());
+    for (std::size_t i = 0; i < schema_->dims(); ++i) {
+      const auto itLo = lo_.find(i);
+      const auto itHi = hi_.find(i);
+      lo[i] = itLo == lo_.end() ? 0.0 : schema_->normalize(i, itLo->second);
+      // The exclusive upper bound 1.0 covers the whole normalized domain.
+      hi[i] = itHi == hi_.end()
+                  ? 1.0
+                  : (itHi->second >=
+                             schema_->attribute(i).max
+                         ? 1.0
+                         : schema_->normalize(i, itHi->second));
+    }
+    return mlight::common::Rect(lo, hi);
+  }
+
+ private:
+  const Schema* schema_;
+  std::map<std::size_t, double> lo_;
+  std::map<std::size_t, double> hi_;
+};
+
+/// A row: attribute values (in schema order) plus an opaque payload.
+struct Row {
+  std::vector<double> values;
+  std::string payload;
+  std::uint64_t id = 0;
+};
+
+/// A named-attribute table stored in an m-LIGHT index over the DHT.
+class Table {
+ public:
+  Table(mlight::dht::Network& net, Schema schema,
+        mlight::core::MLightConfig config = {})
+      : schema_(std::move(schema)),
+        index_(net, [&] {
+          config.dims = schema_.dims();
+          return config;
+        }()) {}
+
+  const Schema& schema() const noexcept { return schema_; }
+
+  void insert(const Row& row) {
+    mlight::index::Record r;
+    r.key = schema_.encode(row.values);
+    r.payload = row.payload;
+    r.id = row.id;
+    index_.insert(r);
+  }
+
+  std::size_t erase(std::span<const double> values, std::uint64_t id) {
+    return index_.erase(schema_.encode(values), id);
+  }
+
+  struct SelectResult {
+    std::vector<Row> rows;
+    mlight::index::QueryStats stats;
+  };
+
+  SelectResult select(const Query& query) {
+    auto res = index_.rangeQuery(query.toRect());
+    SelectResult out;
+    out.stats = res.stats;
+    out.rows.reserve(res.records.size());
+    for (const auto& r : res.records) {
+      out.rows.push_back(Row{schema_.decode(r.key), r.payload, r.id});
+    }
+    return out;
+  }
+
+  /// The k rows nearest to the given attribute values (normalized
+  /// Euclidean distance).
+  SelectResult nearest(std::span<const double> values, std::size_t k) {
+    auto res = index_.knnQuery(schema_.encode(values), k);
+    SelectResult out;
+    out.stats = res.stats;
+    for (const auto& r : res.records) {
+      out.rows.push_back(Row{schema_.decode(r.key), r.payload, r.id});
+    }
+    return out;
+  }
+
+  std::size_t size() const { return index_.size(); }
+  mlight::core::MLightIndex& index() noexcept { return index_; }
+
+ private:
+  Schema schema_;
+  mlight::core::MLightIndex index_;
+};
+
+}  // namespace mlight::schema

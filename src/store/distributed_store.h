@@ -1,0 +1,291 @@
+// Typed key→bucket storage co-located with DHT ownership.
+//
+// Over-DHT indexes store application buckets (label store + record store in
+// m-LIGHT, trie nodes in PHT, tree nodes in DST) under DHT keys.  The
+// DistributedStore keeps each bucket together with the peer currently
+// responsible for its key, meters every routed access through the Network,
+// ships serialized payload when buckets move between peers, and re-homes
+// buckets when membership changes (churn).
+//
+// Replication (OpenDHT-style key salting): with replication factor R > 1,
+// every bucket also lives at the owners of R-1 salted keys.  Graceful
+// churn re-homes all copies; a *crash* loses exactly the copies the dead
+// peer held — a bucket survives iff some copy-holder survives, in which
+// case missing copies are re-created from a survivor (repair traffic).
+// With R = 1 a crash loses the bucket outright; lostBuckets() reports it
+// so upper layers can detect the damage.
+//
+// Bucket requirements (checked by concept): byteSize() — serialized size
+// used for data-movement accounting; recordCount() — number of records,
+// used for load statistics and record-movement accounting.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/check.h"
+#include "common/serde.h"
+#include "dht/network.h"
+
+namespace mlight::store {
+
+template <typename B>
+concept StorableBucket =
+    requires(const B& b, mlight::common::Writer& w,
+             mlight::common::Reader& r) {
+      { b.byteSize() } -> std::convertible_to<std::size_t>;
+      { b.recordCount() } -> std::convertible_to<std::size_t>;
+      { b.serialize(w) };
+      { B::deserialize(r) } -> std::same_as<B>;
+    };
+
+template <StorableBucket Bucket>
+class DistributedStore {
+ public:
+  using Label = mlight::common::BitString;
+  using RingId = mlight::dht::RingId;
+
+  /// `ns` namespaces this index's keys inside the shared DHT key space
+  /// (multiple indexes can share one overlay without colliding).
+  /// `replication` >= 1 is the total number of copies per bucket.
+  DistributedStore(mlight::dht::Network& net, std::string ns,
+                   std::size_t replication = 1)
+      : net_(&net), ns_(std::move(ns)), replication_(replication) {
+    storeHandle_ = net_->registerStore(
+        [this](const mlight::dht::Network::MembershipChange& change) {
+          onMembershipChange(change);
+        });
+  }
+
+  ~DistributedStore() { net_->unregisterStore(storeHandle_); }
+
+  DistributedStore(const DistributedStore&) = delete;
+  DistributedStore& operator=(const DistributedStore&) = delete;
+
+  std::size_t replication() const noexcept { return replication_; }
+
+  /// Ring position of a label's DHT key (salt 0 = primary key; higher
+  /// salts are candidate replica keys).
+  RingId ringKey(const Label& label, std::size_t salt = 0) const {
+    if (salt == 0) return mlight::dht::keyId(ns_ + label.toString());
+    return mlight::dht::keyId(ns_ + label.toString() + "#r" +
+                              std::to_string(salt));
+  }
+
+  /// Peer currently responsible for `label`'s primary key (no cost).
+  RingId ownerOf(const Label& label) const {
+    return net_->responsible(ringKey(label));
+  }
+
+  /// The peers holding the copies of `label` on the current ring:
+  /// holders[0] is the primary; replicas are placed at successive salted
+  /// keys, skipping peers already chosen so copies are failure-
+  /// independent (salts are probed in order, so the set is deterministic
+  /// for a given ring).
+  std::vector<RingId> copyHolders(const Label& label) const {
+    std::vector<RingId> holders{ownerOf(label)};
+    std::size_t salt = 1;
+    // On tiny overlays there may be fewer peers than copies; stop after
+    // a bounded number of attempts rather than spinning.
+    std::size_t attempts = 0;
+    while (holders.size() < replication_ && attempts < 8 * replication_) {
+      const RingId candidate = net_->responsible(ringKey(label, salt));
+      ++salt;
+      ++attempts;
+      if (std::find(holders.begin(), holders.end(), candidate) ==
+          holders.end()) {
+        holders.push_back(candidate);
+      }
+    }
+    return holders;
+  }
+
+  struct Found {
+    RingId owner;
+    std::size_t hops;
+    double ms;       ///< simulated routing latency of this lookup
+    Bucket* bucket;  ///< nullptr when no bucket is stored under the key.
+  };
+
+  /// One DHT-lookup: routes from `initiator` to the key's owner and
+  /// returns the bucket stored there, if any.
+  Found routeAndFind(RingId initiator, const Label& label) {
+    const auto route = net_->lookup(initiator, ringKey(label));
+    auto it = entries_.find(label);
+    Bucket* bucket = (it == entries_.end()) ? nullptr : &it->second.bucket;
+    return Found{route.owner, route.hops, route.ms, bucket};
+  }
+
+  /// DHT-put: routes from `source`, ships the bucket payload to the owner
+  /// of every copy (no bytes for copies the source itself owns), and
+  /// stores/replaces it.  Returns the primary owner.
+  RingId place(RingId source, const Label& label, Bucket bucket) {
+    // The bucket crosses the (simulated) wire: serialize for real, both
+    // to keep the byte accounting exact and so the wire format is
+    // exercised on every put, then store what came out of the decoder.
+    mlight::common::Writer wire;
+    bucket.serialize(wire);
+    MLIGHT_CHECK(wire.size() == bucket.byteSize(),
+                 "byteSize() disagrees with the wire format");
+    mlight::common::Reader reader(wire.bytes());
+    Entry entry;
+    entry.holders = copyHolders(label);
+    net_->lookup(source, ringKey(label));  // routed put to the primary
+    net_->shipPayload(source, entry.holders[0], wire.size(),
+                      bucket.recordCount());
+    for (std::size_t i = 1; i < entry.holders.size(); ++i) {
+      net_->lookup(source, ringKey(label, i));  // routed replica put
+      net_->shipPayload(source, entry.holders[i], wire.size(),
+                        bucket.recordCount());
+    }
+    entry.bucket = Bucket::deserialize(reader);
+    MLIGHT_CHECK(reader.atEnd(), "wire format left trailing bytes");
+    const RingId owner = entry.holders[0];
+    entries_.insert_or_assign(label, std::move(entry));
+    return owner;
+  }
+
+  /// Stores a bucket whose primary copy is created on the peer that
+  /// already owns the key (e.g. the split child that keeps its parent's
+  /// DHT key, Theorem 5) — no primary routing or shipping.  Replica
+  /// copies, if configured, still cost a put each (from the primary).
+  void placeLocal(const Label& label, Bucket bucket) {
+    Entry entry;
+    entry.holders = copyHolders(label);
+    for (std::size_t i = 1; i < entry.holders.size(); ++i) {
+      net_->lookup(entry.holders[0], ringKey(label, i));
+      net_->shipPayload(entry.holders[0], entry.holders[i],
+                        bucket.byteSize(), bucket.recordCount());
+    }
+    entry.bucket = std::move(bucket);
+    entries_.insert_or_assign(label, std::move(entry));
+  }
+
+  /// Accounts the cost of propagating an in-place bucket mutation (e.g.
+  /// one appended record) to the replicas: one DHT-lookup plus the
+  /// payload per replica.  No-op when replication == 1.
+  void shipToReplicas(RingId source, const Label& label, std::size_t bytes,
+                      std::size_t records) {
+    if (replication_ <= 1) return;
+    const auto it = entries_.find(label);
+    if (it == entries_.end()) return;
+    for (std::size_t i = 1; i < it->second.holders.size(); ++i) {
+      net_->lookup(source, ringKey(label, i));  // routed update message
+      net_->shipPayload(source, it->second.holders[i], bytes, records);
+    }
+  }
+
+  /// Removes the bucket under `label`; returns true if one existed.
+  bool erase(const Label& label) { return entries_.erase(label) > 0; }
+
+  /// Local (unmetered) bucket access for assertions and statistics.
+  Bucket* peek(const Label& label) {
+    auto it = entries_.find(label);
+    return it == entries_.end() ? nullptr : &it->second.bucket;
+  }
+  const Bucket* peek(const Label& label) const {
+    auto it = entries_.find(label);
+    return it == entries_.end() ? nullptr : &it->second.bucket;
+  }
+
+  std::size_t bucketCount() const noexcept { return entries_.size(); }
+
+  /// Buckets irrecoverably lost to crashes (all copy-holders died).
+  std::size_t lostBuckets() const noexcept { return lostBuckets_; }
+
+  /// Buckets whose copies were re-created from a survivor after a crash.
+  std::size_t repairedBuckets() const noexcept { return repairedBuckets_; }
+
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& [label, entry] : entries_) {
+      fn(label, entry.bucket, entry.holders[0]);
+    }
+  }
+
+  /// Records held by each peer via its *primary* copies (replicas are
+  /// excluded so load figures stay comparable across replication
+  /// factors; peers with no bucket are absent).
+  std::map<RingId, std::size_t> perPeerRecords() const {
+    std::map<RingId, std::size_t> load;
+    for (const auto& [label, entry] : entries_) {
+      load[entry.holders[0]] += entry.bucket.recordCount();
+    }
+    return load;
+  }
+
+ private:
+  struct Entry {
+    std::vector<RingId> holders;  // holders[0] = primary copy
+    Bucket bucket;
+  };
+
+  void onMembershipChange(
+      const mlight::dht::Network::MembershipChange& change) {
+    using Kind = mlight::dht::Network::MembershipChange::Kind;
+    const auto isDead = [&](RingId id) {
+      return std::find(change.removedVnodes.begin(),
+                       change.removedVnodes.end(),
+                       id) != change.removedVnodes.end();
+    };
+
+    std::vector<Label> lost;
+    for (auto& [label, entry] : entries_) {
+      RingId source = entry.holders[0];
+      if (change.kind == Kind::kCrash) {
+        // A crash destroys the copies the dead peer held; the bucket
+        // survives iff some holder is still alive and becomes the
+        // repair source.
+        bool survived = false;
+        for (const RingId holder : entry.holders) {
+          if (!isDead(holder)) {
+            survived = true;
+            source = holder;
+            break;
+          }
+        }
+        if (!survived) {
+          lost.push_back(label);
+          continue;
+        }
+        if (isDead(entry.holders[0])) ++repairedBuckets_;
+      }
+      // Bring every copy to the peers now responsible on the new ring,
+      // shipping from the (surviving) source.
+      const std::vector<RingId> want = copyHolders(label);
+      for (const RingId holder : want) {
+        const bool alreadyHeld =
+            std::find(entry.holders.begin(), entry.holders.end(),
+                      holder) != entry.holders.end() &&
+            !isDead(holder);
+        if (!alreadyHeld) {
+          net_->shipPayload(source, holder, entry.bucket.byteSize(),
+                            entry.bucket.recordCount());
+        }
+      }
+      entry.holders = want;
+    }
+    for (const Label& label : lost) {
+      entries_.erase(label);
+      ++lostBuckets_;
+    }
+  }
+
+  mlight::dht::Network* net_;
+  std::string ns_;
+  std::size_t replication_ = 1;
+
+  std::uint64_t storeHandle_ = 0;
+  std::size_t lostBuckets_ = 0;
+  std::size_t repairedBuckets_ = 0;
+  std::unordered_map<Label, Entry, mlight::common::BitStringHash> entries_;
+};
+
+}  // namespace mlight::store

@@ -1,0 +1,195 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace mlight::workload {
+
+namespace {
+
+using mlight::common::Point;
+using mlight::common::Rng;
+
+/// Draws a coordinate from N(mean, stddev) restricted to [0,1).
+double clampedGaussian(Rng& rng, double mean, double stddev) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = rng.gaussian(mean, stddev);
+    if (v >= 0.0 && v < 1.0) return v;
+  }
+  return std::clamp(rng.uniform(), 0.0, 0.999999);
+}
+
+Record makeRecord(Point key, std::uint64_t id, const char* prefix) {
+  Record r;
+  r.key = key;
+  r.id = id;
+  r.payload = std::string(prefix) + std::to_string(id);
+  return r;
+}
+
+}  // namespace
+
+std::vector<Record> northeastDataset(std::size_t count, std::uint64_t seed) {
+  // Skew modelled on the NE postal dataset, which clusters at two scales:
+  // metropolitan areas (New York dominating, then Philadelphia and
+  // Boston) and, within each metro, towns/street grids that are far
+  // tighter than the metro spread.  The hierarchical mixture reproduces
+  // the deep, locally dense kd-subtrees real address data induces.
+  struct Metro {
+    double x, y, sx, sy, weight;
+    std::size_t towns;
+  };
+  static constexpr Metro kMetros[] = {
+      {0.35, 0.45, 0.050, 0.065, 0.45, 60},  // New York analogue
+      {0.18, 0.22, 0.045, 0.040, 0.22, 35},  // Philadelphia analogue
+      {0.72, 0.78, 0.040, 0.045, 0.23, 35},  // Boston analogue
+  };
+  Rng rng(seed);
+  struct Town {
+    double x, y, s;
+  };
+  std::vector<std::vector<Town>> towns;
+  for (const Metro& m : kMetros) {
+    std::vector<Town> list;
+    list.reserve(m.towns);
+    for (std::size_t t = 0; t < m.towns; ++t) {
+      Town town;
+      town.x = clampedGaussian(rng, m.x, m.sx);
+      town.y = clampedGaussian(rng, m.y, m.sy);
+      // Street-grid scale: a few blocks wide.
+      town.s = 0.002 + 0.010 * rng.uniform();
+      list.push_back(town);
+    }
+    towns.push_back(std::move(list));
+  }
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double pick = rng.uniform();
+    double acc = 0.0;
+    const Metro* metro = nullptr;
+    std::size_t metroIdx = 0;
+    for (std::size_t mi = 0; mi < std::size(kMetros); ++mi) {
+      acc += kMetros[mi].weight;
+      if (pick < acc) {
+        metro = &kMetros[mi];
+        metroIdx = mi;
+        break;
+      }
+    }
+    Point p(2);
+    if (metro != nullptr) {
+      const Town& town = towns[metroIdx][rng.below(metro->towns)];
+      p[0] = clampedGaussian(rng, town.x, town.s);
+      p[1] = clampedGaussian(rng, town.y, town.s);
+    } else {
+      p[0] = rng.uniform();
+      p[1] = rng.uniform();
+    }
+    out.push_back(makeRecord(p, i, "addr-"));
+  }
+  return out;
+}
+
+std::vector<Record> uniformDataset(std::size_t count, std::size_t dims,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point p(dims);
+    for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+    out.push_back(makeRecord(p, i, "u-"));
+  }
+  return out;
+}
+
+std::vector<Record> clusteredDataset(std::size_t count, std::size_t dims,
+                                     std::size_t clusters, double stddev,
+                                     std::uint64_t seed) {
+  assert(clusters >= 1);
+  Rng rng(seed);
+  std::vector<Point> centers;
+  centers.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    Point center(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      center[d] = rng.uniform(0.15, 0.85);
+    }
+    centers.push_back(center);
+  }
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point p(dims);
+    if (rng.chance(0.1)) {
+      for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+    } else {
+      const Point& center = centers[rng.below(clusters)];
+      for (std::size_t d = 0; d < dims; ++d) {
+        p[d] = clampedGaussian(rng, center[d], stddev);
+      }
+    }
+    out.push_back(makeRecord(p, i, "c-"));
+  }
+  return out;
+}
+
+std::vector<Record> loadPointsFile(const std::string& path,
+                                   std::size_t dims) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("loadPointsFile: cannot open " + path);
+  }
+  std::vector<std::vector<double>> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    for (char& c : line) {
+      if (c == ',' || c == ';' || c == '\t') c = ' ';
+    }
+    std::istringstream fields(line);
+    std::vector<double> coords(dims);
+    bool ok = true;
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (!(fields >> coords[d])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) raw.push_back(std::move(coords));
+  }
+  if (raw.size() < 2) {
+    throw std::runtime_error("loadPointsFile: fewer than 2 valid points in " +
+                             path);
+  }
+  // Min-max normalize each dimension into [0, 1).
+  std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
+  for (const auto& coords : raw) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], coords[d]);
+      hi[d] = std::max(hi[d], coords[d]);
+    }
+  }
+  std::vector<Record> out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    Point p(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double span = hi[d] - lo[d];
+      const double unit = span > 0 ? (raw[i][d] - lo[d]) / span : 0.0;
+      p[d] = std::min(unit, 0.999999999);
+    }
+    out.push_back(makeRecord(p, i, "file-"));
+  }
+  return out;
+}
+
+}  // namespace mlight::workload

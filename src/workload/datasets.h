@@ -1,0 +1,53 @@
+// Dataset generators.
+//
+// The paper evaluates on a real dataset of 123,593 postal addresses in the
+// New York / Philadelphia / Boston metropolitan areas, normalized to
+// [0,1] per dimension (rtreeportal.org's NE dataset — not redistributable
+// here).  northeastDataset() is our synthetic stand-in: the same record
+// count, three dense Gaussian metro clusters plus sparse background, so
+// the skew that drives split behaviour, load imbalance and query costs is
+// preserved.  All generators are deterministic in their seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/record.h"
+
+namespace mlight::workload {
+
+using mlight::index::Record;
+
+/// Number of points in the paper's NE dataset.
+inline constexpr std::size_t kNortheastSize = 123593;
+
+/// Synthetic NE: 2-D, three Gaussian metro clusters (NY/Philadelphia/
+/// Boston analogues) over a sparse uniform background, coordinates in
+/// [0,1).  Payloads are short address-like strings.
+std::vector<Record> northeastDataset(std::size_t count, std::uint64_t seed);
+
+/// Uniform points in [0,1)^dims.
+std::vector<Record> uniformDataset(std::size_t count, std::size_t dims,
+                                   std::uint64_t seed);
+
+/// `clusters` Gaussian blobs with the given standard deviation, centers
+/// uniform in [0.15, 0.85]^dims, plus 10% uniform background.
+std::vector<Record> clusteredDataset(std::size_t count, std::size_t dims,
+                                     std::size_t clusters, double stddev,
+                                     std::uint64_t seed);
+
+/// Loads points from a whitespace/comma-separated text file (one point
+/// per line, `dims` leading numeric columns; extra columns and lines
+/// starting with '#' are ignored).  Coordinates are min-max normalized
+/// into [0,1)^dims, as the paper does with the real NE dataset ("along
+/// each dimension, we normalized the data points into the range
+/// [0,1]").  Use this to run the benches on the actual rtreeportal.org
+/// NE file when it is available:
+///   ./build/bench/fig5_maintenance --dataset /path/to/NE.txt
+/// Throws std::runtime_error on unreadable files or < 2 valid points.
+std::vector<Record> loadPointsFile(const std::string& path,
+                                   std::size_t dims);
+
+}  // namespace mlight::workload

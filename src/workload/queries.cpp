@@ -1,0 +1,35 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mlight::workload {
+
+std::vector<mlight::common::Rect> uniformRangeQueries(std::size_t count,
+                                                      std::size_t dims,
+                                                      double span,
+                                                      std::uint64_t seed) {
+  using mlight::common::Point;
+  using mlight::common::Rect;
+  mlight::common::Rng rng(seed);
+  const double side =
+      span <= 0.0 ? 1e-6
+                  : std::pow(span, 1.0 / static_cast<double>(dims));
+  std::vector<Rect> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Point lo(dims);
+    Point hi(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double start = rng.uniform() * std::max(0.0, 1.0 - side);
+      lo[d] = start;
+      hi[d] = std::min(1.0, start + side);
+    }
+    out.emplace_back(lo, hi);
+  }
+  return out;
+}
+
+}  // namespace mlight::workload

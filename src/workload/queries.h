@@ -1,0 +1,25 @@
+// Range-query workload generator.
+//
+// §7.4: "the queried ranges are rectangles uniformly distributed in the
+// data space", swept by *range span*, which the paper defines as the area
+// of the rectangle.  We generate axis-aligned squares of the requested
+// area whose position is uniform among placements fully inside [0,1]^m.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace mlight::workload {
+
+/// `count` square ranges of area `span` (side = span^(1/dims)), uniformly
+/// placed inside the unit cube.  span = 0 yields degenerate point-sized
+/// boxes of side 1e-6.
+std::vector<mlight::common::Rect> uniformRangeQueries(std::size_t count,
+                                                      std::size_t dims,
+                                                      double span,
+                                                      std::uint64_t seed);
+
+}  // namespace mlight::workload

@@ -1,0 +1,213 @@
+#include "common/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace mlight::common {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.toString(), "");
+}
+
+TEST(BitString, FromStringRoundTrip) {
+  for (const char* text : {"", "0", "1", "01", "0011010111",
+                           "1111111111111111", "010101010101010101010101"}) {
+    EXPECT_EQ(BitString::fromString(text).toString(), text);
+  }
+}
+
+TEST(BitString, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitString::fromString("0102"), std::invalid_argument);
+  EXPECT_THROW(BitString::fromString("ab"), std::invalid_argument);
+}
+
+TEST(BitString, PushAndPopBack) {
+  BitString b;
+  b.pushBack(true);
+  b.pushBack(false);
+  b.pushBack(true);
+  EXPECT_EQ(b.toString(), "101");
+  b.popBack();
+  EXPECT_EQ(b.toString(), "10");
+  b.popBack();
+  b.popBack();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitString, PopBackClearsStorageBit) {
+  // Popping must zero the tail bit so equality with a rebuilt string holds.
+  BitString a = BitString::fromString("101");
+  a.popBack();
+  BitString b = BitString::fromString("10");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash64(), b.hash64());
+}
+
+TEST(BitString, RepeatedBuildsRuns) {
+  EXPECT_EQ(BitString::repeated(false, 5).toString(), "00000");
+  EXPECT_EQ(BitString::repeated(true, 3).toString(), "111");
+  EXPECT_EQ(BitString::repeated(true, 0).toString(), "");
+  EXPECT_EQ(BitString::repeated(true, 64).toString(),
+            std::string(64, '1'));
+  EXPECT_EQ(BitString::repeated(true, 65).size(), 65u);
+}
+
+TEST(BitString, BitAccess) {
+  const BitString b = BitString::fromString("0110");
+  EXPECT_FALSE(b.bit(0));
+  EXPECT_TRUE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+  EXPECT_FALSE(b.bit(3));
+  EXPECT_FALSE(b.back());
+}
+
+TEST(BitString, SetBit) {
+  BitString b = BitString::fromString("0000");
+  b.setBit(2, true);
+  EXPECT_EQ(b.toString(), "0010");
+  b.setBit(2, false);
+  EXPECT_EQ(b.toString(), "0000");
+}
+
+TEST(BitString, WithBack) {
+  const BitString b = BitString::fromString("01");
+  EXPECT_EQ(b.withBack(true).toString(), "011");
+  EXPECT_EQ(b.withBack(false).toString(), "010");
+  EXPECT_EQ(b.toString(), "01");  // non-mutating
+}
+
+TEST(BitString, Prefix) {
+  const BitString b = BitString::fromString("110101");
+  EXPECT_EQ(b.prefix(0).toString(), "");
+  EXPECT_EQ(b.prefix(3).toString(), "110");
+  EXPECT_EQ(b.prefix(6).toString(), "110101");
+}
+
+TEST(BitString, PrefixAcrossWordBoundary) {
+  std::string text;
+  for (int i = 0; i < 130; ++i) text.push_back(i % 3 == 0 ? '1' : '0');
+  const BitString b = BitString::fromString(text);
+  EXPECT_EQ(b.prefix(65).toString(), text.substr(0, 65));
+  EXPECT_EQ(b.prefix(128).toString(), text.substr(0, 128));
+  EXPECT_EQ(b.prefix(130).toString(), text);
+}
+
+TEST(BitString, IsPrefixOf) {
+  const BitString a = BitString::fromString("0101");
+  EXPECT_TRUE(BitString().isPrefixOf(a));
+  EXPECT_TRUE(BitString::fromString("01").isPrefixOf(a));
+  EXPECT_TRUE(a.isPrefixOf(a));
+  EXPECT_FALSE(BitString::fromString("011").isPrefixOf(a));
+  EXPECT_FALSE(BitString::fromString("01011").isPrefixOf(a));
+}
+
+TEST(BitString, SiblingFlipsLastBit) {
+  EXPECT_EQ(BitString::fromString("010").sibling().toString(), "011");
+  EXPECT_EQ(BitString::fromString("011").sibling().toString(), "010");
+  EXPECT_EQ(BitString::fromString("1").sibling().toString(), "0");
+}
+
+TEST(BitString, Append) {
+  BitString a = BitString::fromString("01");
+  a.append(BitString::fromString("110"));
+  EXPECT_EQ(a.toString(), "01110");
+  a.append(BitString());
+  EXPECT_EQ(a.toString(), "01110");
+}
+
+TEST(BitString, EqualityDistinguishesLengthFromContent) {
+  EXPECT_NE(BitString::fromString("0"), BitString::fromString("00"));
+  EXPECT_NE(BitString::fromString("01"), BitString::fromString("10"));
+  EXPECT_EQ(BitString::fromString("0110"), BitString::fromString("0110"));
+}
+
+TEST(BitString, OrderingIsLexicographicWithPrefixFirst) {
+  EXPECT_LT(BitString::fromString("0"), BitString::fromString("00"));
+  EXPECT_LT(BitString::fromString("00"), BitString::fromString("01"));
+  EXPECT_LT(BitString::fromString("011"), BitString::fromString("1"));
+  EXPECT_GT(BitString::fromString("10"), BitString::fromString("011111"));
+}
+
+TEST(BitString, UsableAsMapAndSetKey) {
+  std::map<BitString, int> ordered;
+  std::unordered_set<BitString, BitStringHash> hashed;
+  for (const char* text : {"", "0", "1", "01", "10", "010"}) {
+    ordered[BitString::fromString(text)] = 1;
+    hashed.insert(BitString::fromString(text));
+  }
+  EXPECT_EQ(ordered.size(), 6u);
+  EXPECT_EQ(hashed.size(), 6u);
+  EXPECT_TRUE(hashed.contains(BitString::fromString("01")));
+  EXPECT_FALSE(hashed.contains(BitString::fromString("00")));
+}
+
+TEST(BitString, HashDiffersForPrefixPairs) {
+  // Hash must incorporate length: "0" vs "00" share identical words.
+  EXPECT_NE(BitString::fromString("0").hash64(),
+            BitString::fromString("00").hash64());
+}
+
+TEST(BitString, LongStringsCrossWordBoundaries) {
+  Rng rng(7);
+  std::string text;
+  for (int i = 0; i < 200; ++i) text.push_back(rng.chance(0.5) ? '1' : '0');
+  BitString b = BitString::fromString(text);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.toString(), text);
+  // Pop everything back off and verify each intermediate state.
+  for (int i = 199; i >= 0; --i) {
+    b.popBack();
+    EXPECT_EQ(b.size(), static_cast<std::size_t>(i));
+    EXPECT_TRUE(b.isPrefixOf(BitString::fromString(text)));
+  }
+}
+
+// Property sweep: random build / prefix / sibling interactions.
+class BitStringPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BitStringPropertyTest, PrefixAndAppendInvert) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng.below(150);
+    BitString b;
+    for (std::size_t i = 0; i < n; ++i) b.pushBack(rng.chance(0.5));
+    const std::size_t cut = rng.below(n + 1);
+    BitString head = b.prefix(cut);
+    BitString tail;
+    for (std::size_t i = cut; i < n; ++i) tail.pushBack(b.bit(i));
+    head.append(tail);
+    EXPECT_EQ(head, b);
+    EXPECT_TRUE(b.prefix(cut).isPrefixOf(b));
+  }
+}
+
+TEST_P(BitStringPropertyTest, SiblingIsInvolutionAndDiffersInLastBit) {
+  Rng rng(GetParam() * 31 + 1);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng.below(100);
+    BitString b;
+    for (std::size_t i = 0; i < n; ++i) b.pushBack(rng.chance(0.5));
+    const BitString s = b.sibling();
+    EXPECT_EQ(s.size(), b.size());
+    EXPECT_NE(s, b);
+    EXPECT_EQ(s.sibling(), b);
+    EXPECT_EQ(s.prefix(n - 1), b.prefix(n - 1));
+    EXPECT_NE(s.back(), b.back());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStringPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace mlight::common

@@ -1,0 +1,136 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlight::common {
+namespace {
+
+TEST(Point, ConstructionAndAccess) {
+  Point p{0.25, 0.75};
+  EXPECT_EQ(p.dims(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+  p[0] = 0.5;
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+}
+
+TEST(Point, EqualityRequiresSameDims) {
+  EXPECT_EQ((Point{0.1, 0.2}), (Point{0.1, 0.2}));
+  EXPECT_NE((Point{0.1, 0.2}), (Point{0.1, 0.3}));
+  EXPECT_NE((Point{0.1}), (Point{0.1, 0.2}));
+}
+
+TEST(Rect, UnitCube) {
+  const Rect u = Rect::unit(3);
+  EXPECT_EQ(u.dims(), 3u);
+  EXPECT_DOUBLE_EQ(u.volume(), 1.0);
+  EXPECT_TRUE(u.contains(Point{0.0, 0.0, 0.0}));
+  EXPECT_TRUE(u.contains(Point{0.999, 0.5, 0.0}));
+  EXPECT_FALSE(u.contains(Point{1.0, 0.5, 0.0}));  // half-open
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+  const Rect r(Point{0.25, 0.25}, Point{0.5, 0.5});
+  EXPECT_TRUE(r.contains(Point{0.25, 0.25}));
+  EXPECT_FALSE(r.contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(r.contains(Point{0.5, 0.3}));
+  EXPECT_TRUE(r.contains(Point{0.4999, 0.4999}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer(Point{0.0, 0.0}, Point{1.0, 1.0});
+  const Rect inner(Point{0.2, 0.2}, Point{0.8, 0.8});
+  EXPECT_TRUE(outer.containsRect(inner));
+  EXPECT_FALSE(inner.containsRect(outer));
+  EXPECT_TRUE(outer.containsRect(outer));
+}
+
+TEST(Rect, IntersectionAndIntersects) {
+  const Rect a(Point{0.0, 0.0}, Point{0.5, 0.5});
+  const Rect b(Point{0.25, 0.25}, Point{0.75, 0.75});
+  EXPECT_TRUE(a.intersects(b));
+  const Rect c = a.intersection(b);
+  EXPECT_EQ(c, Rect(Point{0.25, 0.25}, Point{0.5, 0.5}));
+}
+
+TEST(Rect, TouchingEdgesDoNotIntersect) {
+  const Rect a(Point{0.0, 0.0}, Point{0.5, 0.5});
+  const Rect b(Point{0.5, 0.0}, Point{1.0, 0.5});
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersection(b).empty());
+}
+
+TEST(Rect, EmptyAndVolume) {
+  const Rect e(Point{0.5, 0.5}, Point{0.5, 0.6});
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.volume(), 0.0);
+  const Rect r(Point{0.0, 0.0}, Point{0.5, 0.25});
+  EXPECT_DOUBLE_EQ(r.volume(), 0.125);
+}
+
+TEST(Rect, HalvedSplitsExactlyInTheMiddle) {
+  const Rect u = Rect::unit(2);
+  const Rect lo = u.halved(0, false);
+  const Rect hi = u.halved(0, true);
+  EXPECT_EQ(lo, Rect(Point{0.0, 0.0}, Point{0.5, 1.0}));
+  EXPECT_EQ(hi, Rect(Point{0.5, 0.0}, Point{1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(lo.volume() + hi.volume(), 1.0);
+}
+
+TEST(Rect, HalvesTileEveryPoint) {
+  Rng rng(3);
+  const Rect u = Rect::unit(2);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.uniform(), rng.uniform()};
+    for (std::size_t dim = 0; dim < 2; ++dim) {
+      const bool inLo = u.halved(dim, false).contains(p);
+      const bool inHi = u.halved(dim, true).contains(p);
+      EXPECT_NE(inLo, inHi);  // exactly one half
+    }
+  }
+}
+
+TEST(Rect, RepeatedHalvingStaysConsistent) {
+  Rect cell = Rect::unit(3);
+  for (int d = 0; d < 20; ++d) {
+    cell = cell.halved(static_cast<std::size_t>(d) % 3, d % 2 == 0);
+  }
+  EXPECT_FALSE(cell.empty());
+  EXPECT_NEAR(cell.volume(), 1.0 / (1 << 20), 1e-15);
+}
+
+TEST(Rect, MidPoint) {
+  const Rect r(Point{0.25, 0.0}, Point{0.75, 1.0});
+  EXPECT_DOUBLE_EQ(r.mid(0), 0.5);
+  EXPECT_DOUBLE_EQ(r.mid(1), 0.5);
+}
+
+TEST(Rect, IntersectionIsCommutativeAndContained) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    auto randRect = [&] {
+      const double x0 = rng.uniform();
+      const double x1 = rng.uniform();
+      const double y0 = rng.uniform();
+      const double y1 = rng.uniform();
+      return Rect(Point{std::min(x0, x1), std::min(y0, y1)},
+                  Point{std::max(x0, x1), std::max(y0, y1)});
+    };
+    const Rect a = randRect();
+    const Rect b = randRect();
+    const Rect ab = a.intersection(b);
+    EXPECT_EQ(ab, b.intersection(a));
+    if (!ab.empty()) {
+      EXPECT_TRUE(a.containsRect(ab));
+      EXPECT_TRUE(b.containsRect(ab));
+      EXPECT_TRUE(a.intersects(b));
+    } else {
+      EXPECT_FALSE(a.intersects(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlight::common

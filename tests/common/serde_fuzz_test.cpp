@@ -1,0 +1,141 @@
+// Adversarial serde fuzzing: deserializers must reject corrupt wire
+// bytes with SerdeError — never crash, hang, or allocate unboundedly.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "dst/dst_index.h"
+#include "index/record.h"
+#include "mlight/bucket.h"
+#include "pht/pht_index.h"
+#include "rst/rst_index.h"
+
+namespace mlight::common {
+namespace {
+
+using mlight::index::Record;
+
+Record sampleRecord(Rng& rng) {
+  Record r;
+  r.key = Point{rng.uniform(), rng.uniform()};
+  r.id = rng.next();
+  r.payload = std::string(rng.below(20), 'x');
+  return r;
+}
+
+template <typename T, typename DecodeFn>
+void fuzzDecoder(std::uint64_t seed, const std::vector<std::uint8_t>& valid,
+                 DecodeFn decode) {
+  Rng rng(seed);
+  // 1. Truncations at every prefix length must throw or succeed cleanly.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    Reader r(std::span<const std::uint8_t>(valid.data(), cut));
+    try {
+      (void)decode(r);
+    } catch (const SerdeError&) {
+      // expected for most cuts
+    }
+  }
+  // 2. Random single-byte corruptions.
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = valid;
+    bytes[rng.below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    Reader r(bytes);
+    try {
+      (void)decode(r);
+    } catch (const SerdeError&) {
+    }
+  }
+  // 3. Pure random garbage.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.below(200));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    Reader r(bytes);
+    try {
+      (void)decode(r);
+    } catch (const SerdeError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(SerdeFuzz, RecordDecoderNeverCrashes) {
+  Rng rng(1);
+  Writer w;
+  sampleRecord(rng).serialize(w);
+  fuzzDecoder<Record>(11, w.bytes(),
+                      [](Reader& r) { return Record::deserialize(r); });
+}
+
+TEST(SerdeFuzz, LeafBucketDecoderNeverCrashes) {
+  Rng rng(2);
+  mlight::core::LeafBucket bucket;
+  bucket.label = BitString::fromString("0010110");
+  for (int i = 0; i < 5; ++i) bucket.records.push_back(sampleRecord(rng));
+  Writer w;
+  bucket.serialize(w);
+  fuzzDecoder<mlight::core::LeafBucket>(13, w.bytes(), [](Reader& r) {
+    return mlight::core::LeafBucket::deserialize(r);
+  });
+}
+
+TEST(SerdeFuzz, BaselineNodeDecodersNeverCrash) {
+  Rng rng(3);
+  {
+    mlight::pht::PhtNode node;
+    node.label = BitString::fromString("0101");
+    node.records.push_back(sampleRecord(rng));
+    Writer w;
+    node.serialize(w);
+    fuzzDecoder<mlight::pht::PhtNode>(17, w.bytes(), [](Reader& r) {
+      return mlight::pht::PhtNode::deserialize(r);
+    });
+  }
+  {
+    mlight::dst::DstNode node;
+    node.label = BitString::fromString("0101");
+    node.records.push_back(sampleRecord(rng));
+    Writer w;
+    node.serialize(w);
+    fuzzDecoder<mlight::dst::DstNode>(19, w.bytes(), [](Reader& r) {
+      return mlight::dst::DstNode::deserialize(r);
+    });
+  }
+  {
+    mlight::rst::RstNode node;
+    node.label = BitString::fromString("0101");
+    node.records.push_back(sampleRecord(rng));
+    Writer w;
+    node.serialize(w);
+    fuzzDecoder<mlight::rst::RstNode>(23, w.bytes(), [](Reader& r) {
+      return mlight::rst::RstNode::deserialize(r);
+    });
+  }
+}
+
+TEST(SerdeFuzz, HugeCountIsRejectedNotAllocated) {
+  // A forged bucket header claiming 4 billion records must throw, not
+  // reserve gigabytes.
+  Writer w;
+  w.writeBitString(BitString::fromString("01"));
+  w.writeU32(0xFFFFFFFFu);  // record count
+  Reader r(w.bytes());
+  EXPECT_THROW((void)mlight::core::LeafBucket::deserialize(r), SerdeError);
+}
+
+TEST(SerdeFuzz, BadRecordDimensionalityRejected) {
+  Writer w;
+  w.writeU64(1);          // id
+  w.writeU32(200);        // dims > kMaxDims
+  Reader r(w.bytes());
+  EXPECT_THROW((void)Record::deserialize(r), SerdeError);
+  Writer w2;
+  w2.writeU64(1);
+  w2.writeU32(0);  // dims == 0
+  Reader r2(w2.bytes());
+  EXPECT_THROW((void)Record::deserialize(r2), SerdeError);
+}
+
+}  // namespace
+}  // namespace mlight::common

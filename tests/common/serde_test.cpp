@@ -1,0 +1,109 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/record.h"
+
+namespace mlight::common {
+namespace {
+
+TEST(Serde, ScalarRoundTrip) {
+  Writer w;
+  w.writeU8(0xAB);
+  w.writeU32(0xDEADBEEF);
+  w.writeU64(0x0123456789ABCDEFull);
+  w.writeDouble(0.337);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.readU8(), 0xAB);
+  EXPECT_EQ(r.readU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.readU64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.readDouble(), 0.337);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serde, StringRoundTrip) {
+  Writer w;
+  w.writeString("");
+  w.writeString("hello");
+  w.writeString(std::string(1000, 'z'));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.readString(), "");
+  EXPECT_EQ(r.readString(), "hello");
+  EXPECT_EQ(r.readString(), std::string(1000, 'z'));
+}
+
+TEST(Serde, BitStringRoundTrip) {
+  for (const char* text :
+       {"", "1", "00101", "1111111111111111111111111111111111"}) {
+    Writer w;
+    w.writeBitString(BitString::fromString(text));
+    Reader r(w.bytes());
+    EXPECT_EQ(r.readBitString().toString(), text);
+  }
+}
+
+TEST(Serde, TruncatedInputThrows) {
+  Writer w;
+  w.writeU64(42);
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    Reader r(std::span<const std::uint8_t>(w.bytes().data(), cut));
+    EXPECT_THROW(r.readU64(), SerdeError);
+  }
+}
+
+TEST(Serde, TruncatedStringBodyThrows) {
+  Writer w;
+  w.writeString("abcdef");
+  Reader r(std::span<const std::uint8_t>(w.bytes().data(), 6));  // 4+2 < 10
+  EXPECT_THROW(r.readString(), SerdeError);
+}
+
+TEST(Serde, SpecialDoubles) {
+  Writer w;
+  w.writeDouble(0.0);
+  w.writeDouble(-0.0);
+  w.writeDouble(std::numeric_limits<double>::infinity());
+  w.writeDouble(1e-300);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.readDouble(), 0.0);
+  EXPECT_EQ(r.readDouble(), -0.0);
+  EXPECT_EQ(r.readDouble(), std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(r.readDouble(), 1e-300);
+}
+
+TEST(Serde, RecordRoundTripAndByteSizeHonest) {
+  mlight::index::Record rec;
+  rec.key = Point{0.25, 0.75};
+  rec.payload = "addr-42 Main St";
+  rec.id = 42;
+  Writer w;
+  rec.serialize(w);
+  // byteSize() must equal the true serialized size — data-movement
+  // accounting depends on it.
+  EXPECT_EQ(w.size(), rec.byteSize());
+  Reader r(w.bytes());
+  const auto back = mlight::index::Record::deserialize(r);
+  EXPECT_EQ(back, rec);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serde, RandomRecordsRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    mlight::index::Record rec;
+    const std::size_t dims = 1 + rng.below(4);
+    rec.key = Point(dims);
+    for (std::size_t d = 0; d < dims; ++d) rec.key[d] = rng.uniform();
+    rec.id = rng.next();
+    rec.payload = std::string(rng.below(40), 'p');
+    Writer w;
+    rec.serialize(w);
+    EXPECT_EQ(w.size(), rec.byteSize());
+    Reader r(w.bytes());
+    EXPECT_EQ(mlight::index::Record::deserialize(r), rec);
+  }
+}
+
+}  // namespace
+}  // namespace mlight::common

@@ -1,0 +1,143 @@
+#include "common/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlight::common {
+namespace {
+
+TEST(ZOrder, DimensionOrderFollowsPaper) {
+  // §5's worked example interleaves the *last* dimension first: depth 0
+  // refines y in 2-D.
+  EXPECT_EQ(dimensionAtDepth(0, 2), 1u);
+  EXPECT_EQ(dimensionAtDepth(1, 2), 0u);
+  EXPECT_EQ(dimensionAtDepth(2, 2), 1u);
+  EXPECT_EQ(dimensionAtDepth(0, 3), 2u);
+  EXPECT_EQ(dimensionAtDepth(1, 3), 1u);
+  EXPECT_EQ(dimensionAtDepth(2, 3), 0u);
+  EXPECT_EQ(dimensionAtDepth(3, 3), 2u);
+}
+
+TEST(ZOrder, PaperLookupExampleInterleaving) {
+  // Paper §5: δ = <0.3, 0.9> interleaves to 10111000011110000111...
+  const BitString got = interleave(Point{0.3, 0.9}, 20);
+  EXPECT_EQ(got.toString(), "10111000011110000111");
+}
+
+TEST(ZOrder, PaperCandidateSetExample) {
+  // Paper §5: δ = <0.2, 0.4> interleaves to 001011... (y=0.4 first).
+  const BitString got = interleave(Point{0.2, 0.4}, 6);
+  EXPECT_EQ(got.toString(), "001011");
+}
+
+TEST(ZOrder, OneDimensionalIsPlainBinaryExpansion) {
+  EXPECT_EQ(interleave(Point{0.5}, 4).toString(), "1000");
+  EXPECT_EQ(interleave(Point{0.25}, 4).toString(), "0100");
+  EXPECT_EQ(interleave(Point{0.875}, 4).toString(), "1110");
+  EXPECT_EQ(interleave(Point{0.0}, 4).toString(), "0000");
+}
+
+TEST(ZOrder, CellOfEmptyPathIsUnitCube) {
+  EXPECT_EQ(cellOfPath(BitString{}, 2), Rect::unit(2));
+}
+
+TEST(ZOrder, CellOfPathHalvesPerStep) {
+  // First bit halves y (dim 1) in 2-D.
+  const Rect top = cellOfPath(BitString::fromString("1"), 2);
+  EXPECT_EQ(top, Rect(Point{0.0, 0.5}, Point{1.0, 1.0}));
+  const Rect topLeft = cellOfPath(BitString::fromString("10"), 2);
+  EXPECT_EQ(topLeft, Rect(Point{0.0, 0.5}, Point{0.5, 1.0}));
+}
+
+TEST(ZOrder, InterleavedPathContainsItsPoint) {
+  Rng rng(17);
+  for (std::size_t dims = 1; dims <= 4; ++dims) {
+    for (int i = 0; i < 200; ++i) {
+      Point p(dims);
+      for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+      const BitString path = interleave(p, 20);
+      EXPECT_TRUE(cellOfPath(path, dims).contains(p));
+      // Every prefix cell also contains the point.
+      for (std::size_t cut : {1u, 5u, 13u}) {
+        EXPECT_TRUE(cellOfPath(path.prefix(cut), dims).contains(p));
+      }
+    }
+  }
+}
+
+TEST(ZOrder, SiblingCellsTile) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    BitString path;
+    const std::size_t depth = 1 + rng.below(12);
+    for (std::size_t d = 0; d < depth; ++d) path.pushBack(rng.chance(0.5));
+    const Rect cell = cellOfPath(path, 2);
+    const Rect sib = cellOfPath(path.sibling(), 2);
+    BitString parent = path;
+    parent.popBack();
+    const Rect parentCell = cellOfPath(parent, 2);
+    EXPECT_FALSE(cell.intersects(sib));
+    EXPECT_TRUE(parentCell.containsRect(cell));
+    EXPECT_TRUE(parentCell.containsRect(sib));
+    EXPECT_NEAR(cell.volume() + sib.volume(), parentCell.volume(), 1e-12);
+  }
+}
+
+TEST(ZOrder, LowestCoveringPathCoversAndIsMaximal) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const double side = rng.uniform(0.001, 0.4);
+    const double x = rng.uniform() * (1.0 - side);
+    const double y = rng.uniform() * (1.0 - side);
+    const Rect r(Point{x, y}, Point{x + side, y + side});
+    const BitString path = lowestCoveringPath(r, 2, 30);
+    EXPECT_TRUE(cellOfPath(path, 2).containsRect(r));
+    if (path.size() < 30) {
+      // Maximality: neither child cell covers the rectangle.
+      EXPECT_FALSE(cellOfPath(path.withBack(false), 2).containsRect(r));
+      EXPECT_FALSE(cellOfPath(path.withBack(true), 2).containsRect(r));
+    }
+  }
+}
+
+TEST(ZOrder, LowestCoveringPathOfUnitCubeIsEmpty) {
+  EXPECT_EQ(lowestCoveringPath(Rect::unit(2), 2, 30).size(), 0u);
+}
+
+TEST(ZOrder, CoordinateOneClampsToTopCell) {
+  // 1.0 is the domain's closed top; it must map into the uppermost cell
+  // chain rather than fall off the space.
+  const BitString path = interleave(Point{1.0, 1.0}, 10);
+  EXPECT_EQ(path.toString(), "1111111111");
+}
+
+// Parameterized sweep over dimensionalities: interleave/cellOfPath agree
+// with direct per-dimension bit extraction.
+class ZOrderDimsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZOrderDimsTest, MatchesPerDimensionBits) {
+  const std::size_t dims = GetParam();
+  Rng rng(101 + dims);
+  for (int i = 0; i < 100; ++i) {
+    Point p(dims);
+    for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+    const std::size_t depth = dims * 6;
+    const BitString path = interleave(p, depth);
+    for (std::size_t j = 0; j < depth; ++j) {
+      const std::size_t dim = dimensionAtDepth(j, dims);
+      const std::size_t round = j / dims;
+      // Bit `round` of coordinate dim: floor(coord * 2^(round+1)) odd.
+      const auto scaled = static_cast<std::uint64_t>(
+          p[dim] * static_cast<double>(1ull << (round + 1)));
+      EXPECT_EQ(path.bit(j), (scaled & 1u) != 0)
+          << "dims=" << dims << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ZOrderDimsTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mlight::common

@@ -1,0 +1,251 @@
+#include "dst/dst_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zorder.h"
+#include "index/oracle.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace mlight::dst {
+namespace {
+
+using mlight::common::Point;
+using mlight::common::Rect;
+using mlight::common::Rng;
+using mlight::dht::CostMeter;
+using mlight::dht::MeterScope;
+using mlight::dht::Network;
+using mlight::index::Oracle;
+using mlight::index::Record;
+
+Record rec(double x, double y, std::uint64_t id) {
+  Record r;
+  r.key = Point{x, y};
+  r.id = id;
+  r.payload = "p" + std::to_string(id);
+  return r;
+}
+
+DstConfig smallConfig() {
+  DstConfig cfg;
+  cfg.maxDepth = 16;  // 8 quad levels: keeps tests fast
+  cfg.gamma = 8;
+  return cfg;
+}
+
+TEST(DstIndex, EmptyIndexAnswersEmptyQueries) {
+  Network net(32);
+  DstIndex index(net, smallConfig());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(
+      index.rangeQuery(Rect(Point{0.1, 0.1}, Point{0.9, 0.9})).records.empty());
+  EXPECT_TRUE(index.pointQuery(Point{0.3, 0.3}).records.empty());
+}
+
+TEST(DstIndex, InsertReplicatesAtEveryLevel) {
+  Network net(32);
+  DstIndex index(net, smallConfig());
+  CostMeter meter;
+  {
+    MeterScope scope(net, meter);
+    index.insert(rec(0.3, 0.7, 1));
+  }
+  // One DHT-lookup per level (root..leaf inclusive).
+  EXPECT_EQ(meter.lookups, index.levels() + 1);
+  // The record is stored at every level (none saturated yet): the
+  // replication that makes DST maintenance an order of magnitude dearer.
+  EXPECT_EQ(index.nodeCount(), index.levels() + 1);
+  index.checkInvariants();
+}
+
+TEST(DstIndex, PointQueryIsSingleLookup) {
+  Network net(32);
+  DstIndex index(net, smallConfig());
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    index.insert(rec(rng.uniform(), rng.uniform(), i));
+  }
+  const auto res = index.pointQuery(Point{0.25, 0.25});
+  EXPECT_EQ(res.stats.cost.lookups, 1u);
+  EXPECT_EQ(res.stats.rounds, 1u);
+}
+
+TEST(DstIndex, SaturationMarksNodesIncomplete) {
+  Network net(32);
+  DstConfig cfg = smallConfig();
+  cfg.gamma = 4;
+  DstIndex index(net, cfg);
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    index.insert(rec(rng.uniform(), rng.uniform(), i));
+  }
+  index.checkInvariants();
+  // The root must have saturated with 50 spread records and gamma=4.
+  const DstNode* root = index.store().peek(mlight::common::BitString{});
+  ASSERT_NE(root, nullptr);
+  EXPECT_FALSE(root->complete);
+  EXPECT_LE(root->records.size(), 4u);
+}
+
+TEST(DstIndex, RangeQueryMatchesOracle) {
+  Network net(64);
+  DstIndex index(net, smallConfig());
+  Oracle oracle;
+  Rng rng(11);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const Record r = rec(rng.uniform(), rng.uniform(), i);
+    index.insert(r);
+    oracle.insert(r);
+  }
+  index.checkInvariants();
+  for (double span : {0.0, 0.05, 0.2, 1.0}) {
+    for (const Rect& q :
+         mlight::workload::uniformRangeQueries(8, 2, span, 13)) {
+      auto got = index.rangeQuery(q).records;
+      Oracle::sortById(got);
+      EXPECT_EQ(got, oracle.rangeQuery(q)) << q.toString();
+    }
+  }
+}
+
+TEST(DstIndex, RangeQueryMatchesOracleClustered) {
+  Network net(64);
+  DstIndex index(net, smallConfig());
+  Oracle oracle;
+  for (const Record& r :
+       mlight::workload::clusteredDataset(400, 2, 3, 0.05, 17)) {
+    index.insert(r);
+    oracle.insert(r);
+  }
+  for (const Rect& q :
+       mlight::workload::uniformRangeQueries(20, 2, 0.05, 19)) {
+    auto got = index.rangeQuery(q).records;
+    Oracle::sortById(got);
+    EXPECT_EQ(got, oracle.rangeQuery(q));
+  }
+}
+
+TEST(DstIndex, SmallCoveredRangeIsOneRound) {
+  // DST's strength: a range that matches one unsaturated canonical node
+  // resolves in a single round.
+  Network net(32);
+  DstConfig cfg = smallConfig();
+  cfg.gamma = 100;
+  DstIndex index(net, cfg);
+  Rng rng(23);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    index.insert(rec(rng.uniform(), rng.uniform(), i));
+  }
+  // Exactly the top-left quad cell at level 1.
+  const auto res = index.rangeQuery(Rect(Point{0.0, 0.5}, Point{0.5, 1.0}));
+  EXPECT_EQ(res.stats.rounds, 1u);
+  EXPECT_EQ(res.stats.cost.lookups, 1u);
+}
+
+TEST(DstIndex, DecompositionCoversRangeDisjointly) {
+  Network net(8);
+  DstIndex index(net, smallConfig());
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) {
+    const double side = rng.uniform(0.05, 0.7);
+    const double x = rng.uniform() * (1 - side);
+    const double y = rng.uniform() * (1 - side);
+    const Rect r(Point{x, y}, Point{x + side, y + side});
+    const auto cells = index.decompose(r);
+    EXPECT_FALSE(cells.empty());
+    for (std::size_t a = 0; a < cells.size(); ++a) {
+      const Rect ca = mlight::common::cellOfPath(cells[a], 2);
+      EXPECT_TRUE(ca.intersects(r));
+      for (std::size_t b = a + 1; b < cells.size(); ++b) {
+        EXPECT_FALSE(
+            ca.intersects(mlight::common::cellOfPath(cells[b], 2)));
+      }
+    }
+    // Coverage: every grid point of r lies in some cell.
+    for (int gx = 0; gx < 5; ++gx) {
+      for (int gy = 0; gy < 5; ++gy) {
+        const Point p{x + side * (0.1 + 0.19 * gx),
+                      y + side * (0.1 + 0.19 * gy)};
+        bool covered = false;
+        for (const auto& cell : cells) {
+          covered |= mlight::common::cellOfPath(cell, 2).contains(p);
+        }
+        EXPECT_TRUE(covered);
+      }
+    }
+  }
+}
+
+TEST(DstIndex, LargeRangeDecomposesIntoManySubranges) {
+  // The D=28 effect the paper calls out: when the static depth exceeds
+  // the "real" tree depth, ranges shatter into very many canonical
+  // pieces — the count scales with perimeter / 2^-levels.
+  Network net(8);
+  DstConfig fine = smallConfig();
+  fine.maxDepth = 20;
+  DstIndex deep(net, fine);
+  DstConfig coarse = smallConfig();
+  coarse.maxDepth = 12;
+  DstIndex shallow(net, coarse);
+  const Rect big(Point{0.101, 0.103}, Point{0.877, 0.879});
+  const Rect small(Point{0.101, 0.103}, Point{0.151, 0.153});
+  // Large ranges cost far more pieces than small ones (perimeter)...
+  EXPECT_GT(deep.decompose(big).size(), 10u * deep.decompose(small).size());
+  // ...and a deeper static tree multiplies the piece count for the same
+  // query (each extra quad level doubles the boundary resolution).
+  EXPECT_GT(deep.decompose(big).size(),
+            8u * shallow.decompose(big).size());
+}
+
+TEST(DstIndex, EraseRemovesEverywhere) {
+  Network net(32);
+  DstIndex index(net, smallConfig());
+  Rng rng(31);
+  std::vector<Record> records;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    records.push_back(rec(rng.uniform(), rng.uniform(), i));
+    index.insert(records.back());
+  }
+  for (const Record& r : records) EXPECT_EQ(index.erase(r.key, r.id), 1u);
+  EXPECT_EQ(index.size(), 0u);
+  index.checkInvariants();
+  EXPECT_TRUE(index.rangeQuery(Rect::unit(2)).records.empty());
+}
+
+TEST(DstIndex, SurvivesChurn) {
+  Network net(48);
+  DstIndex index(net, smallConfig());
+  Oracle oracle;
+  Rng rng(37);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Record r = rec(rng.uniform(), rng.uniform(), i);
+    index.insert(r);
+    oracle.insert(r);
+  }
+  for (int i = 0; i < 8; ++i) {
+    net.removePeer(net.peers()[rng.below(net.peerCount())]);
+  }
+  net.addPeer("dst-joiner");
+  index.checkInvariants();
+  for (const Rect& q :
+       mlight::workload::uniformRangeQueries(10, 2, 0.15, 41)) {
+    auto got = index.rangeQuery(q).records;
+    Oracle::sortById(got);
+    EXPECT_EQ(got, oracle.rangeQuery(q));
+  }
+}
+
+TEST(DstIndex, RejectsBadConfig) {
+  Network net(8);
+  DstConfig cfg;
+  cfg.maxDepth = 15;  // not a multiple of dims=2
+  EXPECT_THROW(DstIndex(net, cfg), std::invalid_argument);
+  cfg = DstConfig{};
+  cfg.gamma = 0;
+  EXPECT_THROW(DstIndex(net, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mlight::dst

@@ -1,0 +1,111 @@
+// Tests for the shared index types: WaveLatency arithmetic, CostMeter
+// algebra, and cross-scheme latency-stat sanity.
+#include <gtest/gtest.h>
+
+#include "dht/network.h"
+#include "dst/dst_index.h"
+#include "index/types.h"
+#include "mlight/index.h"
+#include "pht/pht_index.h"
+#include "workload/datasets.h"
+
+namespace mlight::index {
+namespace {
+
+using mlight::dht::CostMeter;
+using mlight::dht::Network;
+using mlight::dht::RingId;
+
+TEST(WaveLatency, EmptyWaveIsFree) {
+  WaveLatency wave;
+  EXPECT_DOUBLE_EQ(wave.totalMs(1.0), 0.0);
+}
+
+TEST(WaveLatency, SingleMessageHasNoSerializationPenalty) {
+  WaveLatency wave;
+  wave.add(RingId{1}, 42.0);
+  EXPECT_DOUBLE_EQ(wave.totalMs(1.0), 42.0);
+}
+
+TEST(WaveLatency, ParallelSendersDoNotSerializeEachOther) {
+  WaveLatency wave;
+  wave.add(RingId{1}, 40.0);
+  wave.add(RingId{2}, 60.0);
+  wave.add(RingId{3}, 50.0);
+  // Three distinct senders, one message each: just the slowest path.
+  EXPECT_DOUBLE_EQ(wave.totalMs(5.0), 60.0);
+}
+
+TEST(WaveLatency, BurstsSerializeAtTheSender) {
+  WaveLatency wave;
+  for (int i = 0; i < 100; ++i) wave.add(RingId{7}, 30.0);
+  // 100 messages from one peer: 99 serialization slots + the path.
+  EXPECT_DOUBLE_EQ(wave.totalMs(2.0), 30.0 + 99 * 2.0);
+}
+
+TEST(WaveLatency, MixedBurstsTakeTheWorstSender) {
+  WaveLatency wave;
+  for (int i = 0; i < 10; ++i) wave.add(RingId{1}, 20.0);
+  wave.add(RingId{2}, 90.0);
+  EXPECT_DOUBLE_EQ(wave.totalMs(1.0), 90.0 + 9 * 1.0);
+}
+
+TEST(CostMeter, AdditionAndSubtraction) {
+  CostMeter a;
+  a.lookups = 10;
+  a.hops = 30;
+  a.bytesMoved = 1000;
+  a.recordsMoved = 5;
+  CostMeter b;
+  b.lookups = 4;
+  b.hops = 12;
+  b.bytesMoved = 400;
+  b.recordsMoved = 2;
+  CostMeter sum = a;
+  sum += b;
+  EXPECT_EQ(sum.lookups, 14u);
+  EXPECT_EQ(sum.hops, 42u);
+  const CostMeter diff = sum - b;
+  EXPECT_EQ(diff.lookups, a.lookups);
+  EXPECT_EQ(diff.bytesMoved, a.bytesMoved);
+  EXPECT_EQ(diff.recordsMoved, a.recordsMoved);
+}
+
+TEST(LatencyStats, AllSchemesReportPositiveQueryLatency) {
+  Network net(64);
+  core::MLightConfig mc;
+  mc.thetaSplit = 20;
+  mc.thetaMerge = 10;
+  core::MLightIndex ml(net, mc);
+  pht::PhtConfig pc;
+  pc.thetaSplit = 20;
+  pc.thetaMerge = 10;
+  pht::PhtIndex ph(net, pc);
+  dst::DstConfig dc;
+  dc.maxDepth = 20;
+  dc.gamma = 20;
+  dst::DstIndex ds(net, dc);
+  for (const auto& r : workload::uniformDataset(500, 2, 99)) {
+    ml.insert(r);
+    ph.insert(r);
+    ds.insert(r);
+  }
+  const common::Rect q(common::Point{0.2, 0.2}, common::Point{0.6, 0.6});
+  for (const auto& res :
+       {ml.rangeQuery(q), ph.rangeQuery(q), ds.rangeQuery(q)}) {
+    EXPECT_GT(res.stats.latencyMs, 0.0);
+    // Latency is bounded by (rounds x worst possible wave): each wave
+    // costs at most max-link x max-hops + burst serialization; sanity
+    // bound only, per the 10-100ms default model.
+    EXPECT_LT(res.stats.latencyMs,
+              static_cast<double>(res.stats.rounds) * 100.0 * 20.0 +
+                  static_cast<double>(res.stats.cost.lookups) * 1.0);
+  }
+  // A point query from a random initiator takes at least one link worth
+  // of time unless it luckily starts at the owner.
+  const auto point = ml.pointQuery(common::Point{0.31, 0.77});
+  EXPECT_GE(point.stats.latencyMs, 0.0);
+}
+
+}  // namespace
+}  // namespace mlight::index

@@ -1,0 +1,219 @@
+// Differential fuzzing: long random operation sequences applied in
+// lockstep to m-LIGHT, PHT, DST and the in-memory oracle.  Any divergence
+// in any query answer fails; structural invariants are re-checked
+// periodically.  All randomness is seeded (deterministic, replayable).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "dht/network.h"
+#include "dst/dst_index.h"
+#include "index/oracle.h"
+#include "mlight/index.h"
+#include "pht/pht_index.h"
+
+namespace mlight {
+namespace {
+
+using common::Point;
+using common::Rect;
+using common::Rng;
+using index::Oracle;
+using index::Record;
+
+struct FuzzParams {
+  std::uint64_t seed;
+  std::size_t dims;
+  core::SplitStrategy strategy;
+};
+
+class FuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+Point randomPoint(Rng& rng, std::size_t dims) {
+  Point p(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    // Mix of uniform scatter and a sticky cluster to provoke splits,
+    // merges and deep subtrees.
+    p[d] = rng.chance(0.4) ? rng.uniform()
+                           : std::clamp(rng.gaussian(0.31, 0.02), 0.0,
+                                        0.999999);
+  }
+  return p;
+}
+
+Rect randomRange(Rng& rng, std::size_t dims) {
+  Point lo(dims);
+  Point hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    lo[d] = std::min(a, b);
+    hi[d] = std::max(a, b);
+  }
+  return Rect(lo, hi);
+}
+
+TEST_P(FuzzTest, RandomOpsNeverDiverge) {
+  const FuzzParams params = GetParam();
+  Rng rng(params.seed);
+  dht::Network net(48, params.seed);
+
+  core::MLightConfig mc;
+  mc.dims = params.dims;
+  mc.thetaSplit = 12;
+  mc.thetaMerge = 6;
+  mc.maxEdgeDepth = 18;
+  mc.strategy = params.strategy;
+  mc.epsilon = 8.0;
+  core::MLightIndex ml(net, mc);
+
+  pht::PhtConfig pc;
+  pc.dims = params.dims;
+  pc.thetaSplit = 12;
+  pc.thetaMerge = 6;
+  pc.maxDepth = 18;
+  pht::PhtIndex ph(net, pc);
+
+  dst::DstConfig dc;
+  dc.dims = params.dims;
+  dc.maxDepth = (18 / params.dims) * params.dims;
+  dc.gamma = 12;
+  dst::DstIndex ds(net, dc);
+
+  Oracle oracle;
+  std::vector<Record> alive;
+  std::uint64_t nextId = 0;
+  std::size_t churnSerial = 0;
+
+  const int kOps = 1200;
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.55 || alive.empty()) {
+      Record r;
+      r.key = randomPoint(rng, params.dims);
+      r.id = nextId++;
+      r.payload = "fuzz";
+      ml.insert(r);
+      ph.insert(r);
+      ds.insert(r);
+      oracle.insert(r);
+      alive.push_back(r);
+    } else if (dice < 0.70) {
+      const std::size_t pick = rng.below(alive.size());
+      const Record victim = alive[pick];
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+      const auto removed = oracle.erase(victim.key, victim.id);
+      ASSERT_EQ(ml.erase(victim.key, victim.id), removed);
+      ASSERT_EQ(ph.erase(victim.key, victim.id), removed);
+      ASSERT_EQ(ds.erase(victim.key, victim.id), removed);
+    } else if (dice < 0.80) {
+      // Point query for an existing or random key.
+      const Point probe = rng.chance(0.7) && !alive.empty()
+                              ? alive[rng.below(alive.size())].key
+                              : randomPoint(rng, params.dims);
+      const auto want = oracle.pointQuery(probe);
+      auto a = ml.pointQuery(probe).records;
+      auto b = ph.pointQuery(probe).records;
+      auto c = ds.pointQuery(probe).records;
+      Oracle::sortById(a);
+      Oracle::sortById(b);
+      Oracle::sortById(c);
+      ASSERT_EQ(a, want) << "op " << op;
+      ASSERT_EQ(b, want) << "op " << op;
+      ASSERT_EQ(c, want) << "op " << op;
+    } else if (dice < 0.92) {
+      const Rect q = randomRange(rng, params.dims);
+      const auto want = oracle.rangeQuery(q);
+      auto a = ml.rangeQuery(q).records;
+      auto b = ph.rangeQuery(q).records;
+      auto c = ds.rangeQuery(q).records;
+      Oracle::sortById(a);
+      Oracle::sortById(b);
+      Oracle::sortById(c);
+      ASSERT_EQ(a, want) << "op " << op << " range " << q.toString();
+      ASSERT_EQ(b, want) << "op " << op;
+      ASSERT_EQ(c, want) << "op " << op;
+    } else if (dice < 0.96) {
+      const auto got = ml.knnQuery(randomPoint(rng, params.dims),
+                                   1 + rng.below(5));
+      // Full correctness of kNN has its own suite; here just sanity.
+      ASSERT_LE(got.records.size(), oracle.size());
+    } else if (dice < 0.98 && net.livePhysicalCount() > 24) {
+      net.removePeer(net.peers()[rng.below(net.peerCount())]);
+    } else {
+      net.addPeer("fuzz-joiner-" + std::to_string(churnSerial++));
+    }
+
+    if (op % 300 == 299) {
+      ml.checkInvariants();
+      ph.checkInvariants();
+      ds.checkInvariants();
+      ASSERT_EQ(ml.size(), oracle.size());
+      ASSERT_EQ(ph.size(), oracle.size());
+      ASSERT_EQ(ds.size(), oracle.size());
+    }
+  }
+  ml.checkInvariants();
+  ph.checkInvariants();
+  ds.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzTest,
+    ::testing::Values(
+        FuzzParams{101, 2, core::SplitStrategy::kThreshold},
+        FuzzParams{102, 2, core::SplitStrategy::kDataAware},
+        FuzzParams{103, 1, core::SplitStrategy::kThreshold},
+        FuzzParams{104, 3, core::SplitStrategy::kThreshold},
+        FuzzParams{105, 3, core::SplitStrategy::kDataAware},
+        FuzzParams{106, 2, core::SplitStrategy::kThreshold}),
+    [](const ::testing::TestParamInfo<FuzzParams>& paramInfo) {
+      return "seed" + std::to_string(paramInfo.param.seed) + "_dims" +
+             std::to_string(paramInfo.param.dims) +
+             (paramInfo.param.strategy == core::SplitStrategy::kDataAware
+                  ? "_aware"
+                  : "_threshold");
+    });
+
+/// Crash-fault fuzz: replicated m-LIGHT against the oracle only (the
+/// baselines run unreplicated and would legitimately lose data).
+TEST(FuzzCrash, ReplicatedMLightSurvivesRandomCrashes) {
+  Rng rng(777);
+  dht::Network net(64, 7);
+  core::MLightConfig cfg;
+  cfg.thetaSplit = 12;
+  cfg.thetaMerge = 6;
+  cfg.maxEdgeDepth = 18;
+  cfg.replication = 2;
+  core::MLightIndex ml(net, cfg);
+  Oracle oracle;
+  std::uint64_t nextId = 0;
+  std::size_t joinSerial = 0;
+
+  for (int op = 0; op < 1500; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.70) {
+      Record r;
+      r.key = randomPoint(rng, 2);
+      r.id = nextId++;
+      ml.insert(r);
+      oracle.insert(r);
+    } else if (dice < 0.85) {
+      const Rect q = randomRange(rng, 2);
+      auto got = ml.rangeQuery(q).records;
+      Oracle::sortById(got);
+      ASSERT_EQ(got, oracle.rangeQuery(q)) << "op " << op;
+    } else if (dice < 0.93 && net.livePhysicalCount() > 32) {
+      net.crashPeer(net.peers()[rng.below(net.peerCount())]);
+      ASSERT_EQ(ml.store().lostBuckets(), 0u) << "op " << op;
+    } else {
+      net.addPeer("crash-joiner-" + std::to_string(joinSerial++));
+    }
+  }
+  ml.checkInvariants();
+  ASSERT_EQ(ml.size(), oracle.size());
+}
+
+}  // namespace
+}  // namespace mlight

@@ -1,0 +1,128 @@
+#include "mlight/kdspace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testutil/tree_util.h"
+
+namespace mlight::core {
+namespace {
+
+using mlight::common::BitString;
+using mlight::common::Point;
+using mlight::common::Rect;
+
+BitString tag2d(const char* suffix) {
+  BitString label = rootLabel(2);
+  label.append(BitString::fromString(suffix));
+  return label;
+}
+
+TEST(KdSpace, RootCoversUnitCube) {
+  EXPECT_EQ(labelRegion(rootLabel(2), 2), Rect::unit(2));
+  EXPECT_EQ(labelRegion(rootLabel(3), 3), Rect::unit(3));
+}
+
+TEST(KdSpace, FirstSplitIsAlongLastDimension) {
+  // Paper's interleaving order: depth 0 halves y in 2-D.
+  EXPECT_EQ(labelRegion(tag2d("0"), 2),
+            Rect(Point{0.0, 0.0}, Point{1.0, 0.5}));
+  EXPECT_EQ(labelRegion(tag2d("1"), 2),
+            Rect(Point{0.0, 0.5}, Point{1.0, 1.0}));
+  EXPECT_EQ(labelRegion(tag2d("10"), 2),
+            Rect(Point{0.0, 0.5}, Point{0.5, 1.0}));
+}
+
+TEST(KdSpace, PaperRangeExampleLcaRegion) {
+  // §6: R = [0.1,0.3] x [0.6,0.8] has LCA #10 (top-left quadrant).
+  const Rect r(Point{0.1, 0.6}, Point{0.3, 0.8});
+  EXPECT_EQ(lowestCommonAncestor(r, 2, 28), tag2d("10"));
+  EXPECT_TRUE(labelRegion(tag2d("10"), 2).containsRect(r));
+}
+
+TEST(KdSpace, PointPathMatchesPaperExample) {
+  // §5: <0.3, 0.9> has longest candidate label #10111000011110000111.
+  const BitString path = pointPathLabel(Point{0.3, 0.9}, 2, 20);
+  BitString want = rootLabel(2);
+  want.append(BitString::fromString("10111000011110000111"));
+  EXPECT_EQ(path, want);
+}
+
+TEST(KdSpace, SiblingRegionsPartitionParent) {
+  mlight::common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    BitString label = rootLabel(2);
+    const std::size_t depth = 1 + rng.below(15);
+    for (std::size_t d = 0; d < depth; ++d) label.pushBack(rng.chance(0.5));
+    const Rect cell = labelRegion(label, 2);
+    const Rect sib = labelRegion(label.sibling(), 2);
+    BitString parent = label;
+    parent.popBack();
+    const Rect parentCell = labelRegion(parent, 2);
+    EXPECT_FALSE(cell.intersects(sib));
+    EXPECT_TRUE(parentCell.containsRect(cell));
+    EXPECT_NEAR(cell.volume() + sib.volume(), parentCell.volume(), 1e-12);
+  }
+}
+
+TEST(KdSpace, PointPathCellContainsPoint) {
+  mlight::common::Rng rng(5);
+  for (std::size_t dims = 1; dims <= 4; ++dims) {
+    for (int i = 0; i < 100; ++i) {
+      Point p(dims);
+      for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+      const BitString path = pointPathLabel(p, dims, 20);
+      EXPECT_TRUE(labelRegion(path, dims).contains(p));
+      for (std::size_t len = dims + 1; len <= path.size(); len += 3) {
+        EXPECT_TRUE(labelRegion(path.prefix(len), dims).contains(p));
+      }
+    }
+  }
+}
+
+TEST(KdSpace, LcaIsDeepestCoveringNode) {
+  mlight::common::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double side = rng.uniform(0.01, 0.5);
+    const double x = rng.uniform() * (1.0 - side);
+    const double y = rng.uniform() * (1.0 - side);
+    const Rect r(Point{x, y}, Point{x + side, y + side});
+    const BitString lca = lowestCommonAncestor(r, 2, 28);
+    EXPECT_TRUE(labelRegion(lca, 2).containsRect(r));
+    if (edgeDepth(lca, 2) < 28) {
+      EXPECT_FALSE(labelRegion(lca.withBack(false), 2).containsRect(r));
+      EXPECT_FALSE(labelRegion(lca.withBack(true), 2).containsRect(r));
+    }
+  }
+}
+
+TEST(KdSpace, LcaOfFullSpaceIsRoot) {
+  EXPECT_EQ(lowestCommonAncestor(Rect::unit(2), 2, 28), rootLabel(2));
+}
+
+TEST(KdSpace, TreeLeavesTileSpace) {
+  // Random trees: leaf regions are disjoint and total volume 1.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto leaves = mlight::testutil::randomTreeLeaves(2, 50, seed);
+    double volume = 0.0;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const Rect a = labelRegion(leaves[i], 2);
+      volume += a.volume();
+      for (std::size_t j = i + 1; j < leaves.size(); ++j) {
+        EXPECT_FALSE(a.intersects(labelRegion(leaves[j], 2)));
+      }
+    }
+    EXPECT_NEAR(volume, 1.0, 1e-9);
+  }
+}
+
+TEST(KdSpace, SplitDimensionCycles) {
+  EXPECT_EQ(splitDimension(0, 2), 1u);
+  EXPECT_EQ(splitDimension(1, 2), 0u);
+  EXPECT_EQ(splitDimension(2, 2), 1u);
+  EXPECT_EQ(splitDimension(0, 1), 0u);
+  EXPECT_EQ(splitDimension(5, 3), 0u);
+}
+
+}  // namespace
+}  // namespace mlight::core

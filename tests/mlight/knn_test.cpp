@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "dht/network.h"
+#include "mlight/index.h"
+#include "workload/datasets.h"
+
+namespace mlight::core {
+namespace {
+
+using mlight::common::Point;
+using mlight::common::Rng;
+using mlight::dht::Network;
+using mlight::index::Record;
+
+double dist(const Point& a, const Point& b) {
+  double d2 = 0.0;
+  for (std::size_t d = 0; d < a.dims(); ++d) {
+    const double delta = a[d] - b[d];
+    d2 += delta * delta;
+  }
+  return std::sqrt(d2);
+}
+
+/// Ground truth: sort all records by (distance, id), take k.
+std::vector<Record> bruteKnn(const std::vector<Record>& data, const Point& q,
+                             std::size_t k) {
+  std::vector<Record> sorted = data;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const Record& a, const Record& b) {
+              const double da = dist(a.key, q);
+              const double db = dist(b.key, q);
+              return da != db ? da < db : a.id < b.id;
+            });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+MLightConfig smallConfig() {
+  MLightConfig cfg;
+  cfg.thetaSplit = 10;
+  cfg.thetaMerge = 5;
+  cfg.maxEdgeDepth = 20;
+  return cfg;
+}
+
+TEST(Knn, EmptyIndexAndZeroK) {
+  Network net(32);
+  MLightIndex index(net, smallConfig());
+  EXPECT_TRUE(index.knnQuery(Point{0.5, 0.5}, 5).records.empty());
+  Record r;
+  r.key = Point{0.1, 0.1};
+  index.insert(r);
+  EXPECT_TRUE(index.knnQuery(Point{0.5, 0.5}, 0).records.empty());
+}
+
+TEST(Knn, KLargerThanSizeReturnsEverything) {
+  Network net(32);
+  MLightIndex index(net, smallConfig());
+  std::vector<Record> data;
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    Record r;
+    r.key = Point{rng.uniform(), rng.uniform()};
+    r.id = i;
+    data.push_back(r);
+    index.insert(r);
+  }
+  const auto res = index.knnQuery(Point{0.5, 0.5}, 50);
+  EXPECT_EQ(res.records.size(), 7u);
+  // Nearest-first ordering.
+  for (std::size_t i = 1; i < res.records.size(); ++i) {
+    EXPECT_LE(dist(res.records[i - 1].key, Point{0.5, 0.5}),
+              dist(res.records[i].key, Point{0.5, 0.5}) + 1e-12);
+  }
+}
+
+TEST(Knn, MatchesBruteForceUniform) {
+  Network net(64);
+  MLightIndex index(net, smallConfig());
+  std::vector<Record> data;
+  Rng rng(7);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Record r;
+    r.key = Point{rng.uniform(), rng.uniform()};
+    r.id = i;
+    data.push_back(r);
+    index.insert(r);
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{rng.uniform(), rng.uniform()};
+    for (std::size_t k : {1u, 3u, 10u}) {
+      const auto got = index.knnQuery(q, k).records;
+      const auto want = bruteKnn(data, q, k);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Knn, MatchesBruteForceClustered) {
+  Network net(64);
+  MLightIndex index(net, smallConfig());
+  const auto data = mlight::workload::clusteredDataset(600, 2, 3, 0.03, 11);
+  for (const auto& r : data) index.insert(r);
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Mix of in-cluster and empty-area probes.
+    const Point q{rng.uniform(), rng.uniform()};
+    const auto got = index.knnQuery(q, 5).records;
+    const auto want = bruteKnn(data, q, 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+    }
+  }
+}
+
+TEST(Knn, QueryOutsideUnitCube) {
+  Network net(32);
+  MLightIndex index(net, smallConfig());
+  std::vector<Record> data;
+  Rng rng(17);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Record r;
+    r.key = Point{rng.uniform(), rng.uniform()};
+    r.id = i;
+    data.push_back(r);
+    index.insert(r);
+  }
+  const Point q{1.7, -0.3};
+  const auto got = index.knnQuery(q, 3).records;
+  const auto want = bruteKnn(data, q, 3);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+  }
+}
+
+TEST(Knn, HigherDimensions) {
+  Network net(32);
+  MLightConfig cfg = smallConfig();
+  cfg.dims = 3;
+  MLightIndex index(net, cfg);
+  std::vector<Record> data;
+  Rng rng(19);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    Record r;
+    r.key = Point{rng.uniform(), rng.uniform(), rng.uniform()};
+    r.id = i;
+    data.push_back(r);
+    index.insert(r);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q{rng.uniform(), rng.uniform(), rng.uniform()};
+    const auto got = index.knnQuery(q, 4).records;
+    const auto want = bruteKnn(data, q, 4);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+    }
+  }
+}
+
+TEST(Knn, CostIsBoundedAndReported) {
+  Network net(64);
+  MLightIndex index(net, smallConfig());
+  Rng rng(23);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    Record r;
+    r.key = Point{rng.uniform(), rng.uniform()};
+    r.id = i;
+    index.insert(r);
+  }
+  const auto res = index.knnQuery(Point{0.4, 0.6}, 10);
+  EXPECT_EQ(res.records.size(), 10u);
+  EXPECT_GE(res.stats.cost.lookups, 2u);
+  // An expanding search over a 1000-record index should touch a small
+  // fraction of the buckets, not the whole tree.
+  EXPECT_LT(res.stats.cost.lookups, 100u);
+  EXPECT_GT(res.stats.latencyMs, 0.0);
+}
+
+TEST(Knn, DuplicatePointsTieBrokenById) {
+  Network net(32);
+  MLightIndex index(net, smallConfig());
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Record r;
+    r.key = Point{0.5, 0.5};
+    r.id = 5 - i;  // insert in reverse id order
+    index.insert(r);
+  }
+  const auto res = index.knnQuery(Point{0.5, 0.5}, 3);
+  ASSERT_EQ(res.records.size(), 3u);
+  EXPECT_EQ(res.records[0].id, 0u);
+  EXPECT_EQ(res.records[1].id, 1u);
+  EXPECT_EQ(res.records[2].id, 2u);
+}
+
+}  // namespace
+}  // namespace mlight::core

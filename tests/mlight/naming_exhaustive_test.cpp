@@ -1,0 +1,138 @@
+// Exhaustive verification of the naming-function theorems: every full
+// binary space kd-tree with up to kMaxLeaves leaves is enumerated
+// (Catalan-number many shapes), and Theorems 1/2/4/5 are checked on each
+// — not a sample, the complete space.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/geometry.h"
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+#include "testutil/tree_util.h"
+
+namespace mlight::core {
+namespace {
+
+using mlight::common::BitString;
+using mlight::common::Rect;
+using mlight::testutil::internalNodes;
+
+/// Enumerates the leaf sets of all full binary trees rooted at `root`
+/// with exactly `leaves` leaves (depth-capped to keep labels small).
+std::vector<std::vector<BitString>> enumerateTrees(const BitString& root,
+                                                   std::size_t leaves) {
+  std::vector<std::vector<BitString>> shapes;
+  if (leaves == 1) {
+    shapes.push_back({root});
+    return shapes;
+  }
+  // Split `leaves` between the two children in every way.
+  for (std::size_t left = 1; left < leaves; ++left) {
+    const auto leftShapes = enumerateTrees(root.withBack(false), left);
+    const auto rightShapes =
+        enumerateTrees(root.withBack(true), leaves - left);
+    for (const auto& l : leftShapes) {
+      for (const auto& r : rightShapes) {
+        std::vector<BitString> combined = l;
+        combined.insert(combined.end(), r.begin(), r.end());
+        shapes.push_back(std::move(combined));
+      }
+    }
+  }
+  return shapes;
+}
+
+class ExhaustiveTreeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExhaustiveTreeTest, AllTheoremsOnEveryTreeShape) {
+  const std::size_t dims = GetParam();
+  const BitString root = rootLabel(dims);
+  std::size_t shapesChecked = 0;
+  constexpr std::size_t kMaxLeaves = 7;  // Catalan(6) = 132 shapes per size
+
+  for (std::size_t leafCount = 1; leafCount <= kMaxLeaves; ++leafCount) {
+    for (const auto& leaves : enumerateTrees(root, leafCount)) {
+      ++shapesChecked;
+      const auto internals = internalNodes(leaves, dims);
+      ASSERT_EQ(internals.size(), leaves.size());
+
+      // Theorem 2/4: naming is a bijection leaves -> internals.
+      std::map<BitString, BitString> leafOfName;
+      for (const BitString& leaf : leaves) {
+        const BitString name = naming(leaf, dims);
+        ASSERT_TRUE(internals.contains(name))
+            << "tree #" << shapesChecked << " leaf " << leaf.toString();
+        ASSERT_TRUE(leafOfName.emplace(name, leaf).second);
+      }
+      ASSERT_EQ(leafOfName.size(), internals.size());
+
+      // Theorem 1 (routing form): for every internal ω, the leaf named
+      // to f_md(ω) is a descendant of ω touching a corner of its region
+      // (and the leaf named to ω itself likewise, when ω is internal).
+      for (const BitString& omega : internals) {
+        if (omega.size() < dims + 1) continue;  // virtual root
+        for (const BitString& key : {naming(omega, dims), omega}) {
+          const auto it = leafOfName.find(key);
+          if (it == leafOfName.end()) continue;  // key not internal here
+          const BitString& cell = it->second;
+          if (!omega.isPrefixOf(cell)) {
+            // Only legitimate when the named key is above ω entirely.
+            ASSERT_FALSE(key == omega)
+                << "leaf named to ω must lie inside ω";
+            continue;
+          }
+          const Rect outer = labelRegion(omega, dims);
+          const Rect inner = labelRegion(cell, dims);
+          for (std::size_t d = 0; d < dims; ++d) {
+            ASSERT_TRUE(inner.lo()[d] == outer.lo()[d] ||
+                        inner.hi()[d] == outer.hi()[d])
+                << "tree #" << shapesChecked << " omega "
+                << omega.toString();
+          }
+        }
+      }
+
+      // Theorem 5: splitting any leaf re-keys exactly one child.
+      for (const BitString& leaf : leaves) {
+        const BitString k = naming(leaf, dims);
+        const BitString k0 = naming(leaf.withBack(false), dims);
+        const BitString k1 = naming(leaf.withBack(true), dims);
+        ASSERT_TRUE((k0 == k && k1 == leaf) || (k1 == k && k0 == leaf));
+      }
+    }
+  }
+  // Catalan numbers 1+1+2+5+14+42+132 = 197 shapes per dimensionality.
+  EXPECT_EQ(shapesChecked, 197u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ExhaustiveTreeTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}));
+
+TEST(ExhaustiveTree, NamedLeafOfOmegaKeyIsAlwaysInsideOmega) {
+  // The property range queries rely on, checked over every 6-leaf shape
+  // in 2-D: when ω is internal, the bucket at key f_md(ω) is a
+  // descendant of ω (Algorithm 2/3's reachability).
+  const BitString root = rootLabel(2);
+  for (const auto& leaves : enumerateTrees(root, 6)) {
+    const auto internals = internalNodes(leaves, 2);
+    std::map<BitString, BitString> leafOfName;
+    for (const BitString& leaf : leaves) {
+      leafOfName[naming(leaf, 2)] = leaf;
+    }
+    for (const BitString& omega : internals) {
+      if (omega.size() < 3) continue;
+      const BitString& corner = leafOfName.at(naming(omega, 2));
+      EXPECT_TRUE(omega.isPrefixOf(corner))
+          << "omega " << omega.toString() << " corner "
+          << corner.toString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlight::core

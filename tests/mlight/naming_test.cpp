@@ -1,0 +1,183 @@
+#include "mlight/naming.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/geometry.h"
+#include "mlight/kdspace.h"
+#include "testutil/tree_util.h"
+
+namespace mlight::core {
+namespace {
+
+using mlight::common::BitString;
+using mlight::common::Rect;
+using mlight::testutil::internalNodes;
+using mlight::testutil::randomTreeLeaves;
+
+BitString bits(const char* text) { return BitString::fromString(text); }
+
+/// Builds a 2-D label from the paper's "#..." shorthand (# = 001).
+BitString tag2d(const char* suffix) {
+  BitString label = rootLabel(2);
+  label.append(BitString::fromString(suffix));
+  return label;
+}
+
+TEST(Naming, RootAndVirtualRootLabels) {
+  EXPECT_EQ(virtualRootLabel(2).toString(), "00");
+  EXPECT_EQ(rootLabel(2).toString(), "001");
+  EXPECT_EQ(virtualRootLabel(3).toString(), "000");
+  EXPECT_EQ(rootLabel(3).toString(), "0001");
+  EXPECT_EQ(rootLabel(1).toString(), "01");
+}
+
+TEST(Naming, IsTreeNodeLabel) {
+  EXPECT_TRUE(isTreeNodeLabel(bits("001"), 2));
+  EXPECT_TRUE(isTreeNodeLabel(bits("001101"), 2));
+  EXPECT_FALSE(isTreeNodeLabel(bits("00"), 2));   // virtual root itself
+  EXPECT_FALSE(isTreeNodeLabel(bits("011"), 2));  // wrong root prefix
+  EXPECT_FALSE(isTreeNodeLabel(bits("1"), 2));
+}
+
+TEST(Naming, EdgeDepth) {
+  EXPECT_EQ(edgeDepth(rootLabel(2), 2), 0u);
+  EXPECT_EQ(edgeDepth(tag2d("101111"), 2), 6u);
+  EXPECT_EQ(edgeDepth(rootLabel(3).withBack(true), 3), 1u);
+}
+
+// --- The paper's §3.4.1 worked examples, verbatim ---
+
+TEST(Naming, PaperExampleRootNamesToVirtualRoot) {
+  // f2d(#) = f2d(001) = 00
+  EXPECT_EQ(naming(bits("001"), 2), bits("00"));
+}
+
+TEST(Naming, PaperExampleChain1) {
+  // f2d(#0101111) = #0101
+  EXPECT_EQ(naming(tag2d("0101111"), 2), tag2d("0101"));
+}
+
+TEST(Naming, PaperExampleChain2) {
+  // f2d(#0011111) = #001
+  EXPECT_EQ(naming(tag2d("0011111"), 2), tag2d("001"));
+}
+
+TEST(Naming, PaperExampleChain3) {
+  // f2d(#101111) = #101
+  EXPECT_EQ(naming(tag2d("101111"), 2), tag2d("101"));
+}
+
+TEST(Naming, PaperSection5LookupExampleNames) {
+  // From the §5 lookup trace with D = 20.
+  EXPECT_EQ(naming(tag2d("1011100001"), 2), tag2d("101110000"));
+  EXPECT_EQ(naming(tag2d("10111"), 2), tag2d("101"));
+  // Candidate #1011 shares the name #101 ("this probe has also examined
+  // candidate label #1011, since it is also named to #101").
+  EXPECT_EQ(naming(tag2d("1011"), 2), tag2d("101"));
+}
+
+TEST(Naming, PaperSection6RangeExampleNames) {
+  // f2d(#10) = #1, and the cell named to #1 is #10101.
+  EXPECT_EQ(naming(tag2d("10"), 2), tag2d("1"));
+  EXPECT_EQ(naming(tag2d("10101"), 2), tag2d("1"));
+  // f2d(#101111) = f2d(#1011).
+  EXPECT_EQ(naming(tag2d("101111"), 2), naming(tag2d("1011"), 2));
+}
+
+// --- Structural properties ---
+
+TEST(Naming, ResultIsAlwaysAProperPrefix) {
+  for (const char* suffix :
+       {"", "0", "1", "01", "10", "0101111", "1111111", "0000000"}) {
+    const BitString label = tag2d(suffix);
+    const BitString name = naming(label, 2);
+    EXPECT_LT(name.size(), label.size());
+    EXPECT_TRUE(name.isPrefixOf(label));
+    EXPECT_GE(name.size(), 2u);  // never shorter than the virtual root
+  }
+}
+
+TEST(Naming, CandidateChainSharesOneName) {
+  // Key lookup property: if naming(λ) = k, every prefix of λ longer than
+  // k has the same name — one probe rules out the whole chain.
+  const BitString label = tag2d("1011100001");
+  const BitString name = naming(label, 2);
+  for (std::size_t len = name.size() + 1; len <= label.size(); ++len) {
+    EXPECT_EQ(naming(label.prefix(len), 2), name);
+  }
+}
+
+// Theorem 2/4 (bijection) on randomly grown trees, across dims.
+class NamingTreeTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(NamingTreeTest, BijectionBetweenLeavesAndInternals) {
+  const auto [dims, seed] = GetParam();
+  const auto leaves = randomTreeLeaves(dims, 60, seed);
+  const auto internals = internalNodes(leaves, dims);
+  // A space kd-tree with the virtual root has #leaves == #internals.
+  ASSERT_EQ(leaves.size(), internals.size());
+  std::set<BitString> names;
+  for (const BitString& leaf : leaves) {
+    const BitString name = naming(leaf, dims);
+    EXPECT_TRUE(internals.contains(name))
+        << "leaf " << leaf.toString() << " named to non-internal "
+        << name.toString();
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate name " << name.toString();
+  }
+  EXPECT_EQ(names.size(), internals.size());  // onto
+}
+
+TEST_P(NamingTreeTest, Theorem5IncrementalSplit) {
+  const auto [dims, seed] = GetParam();
+  const auto leaves = randomTreeLeaves(dims, 40, seed * 7 + 1);
+  for (const BitString& leaf : leaves) {
+    const BitString k = naming(leaf, dims);
+    const BitString k0 = naming(leaf.withBack(false), dims);
+    const BitString k1 = naming(leaf.withBack(true), dims);
+    // One child inherits the parent's name, the other is named λ itself.
+    EXPECT_TRUE((k0 == k && k1 == leaf) || (k1 == k && k0 == leaf))
+        << leaf.toString();
+  }
+}
+
+TEST_P(NamingTreeTest, Theorem1NamedLeafIsCornerDescendant) {
+  const auto [dims, seed] = GetParam();
+  const auto leaves = randomTreeLeaves(dims, 60, seed * 13 + 5);
+  const auto internals = internalNodes(leaves, dims);
+  std::map<BitString, BitString> leafOfName;
+  for (const BitString& leaf : leaves) leafOfName[naming(leaf, dims)] = leaf;
+
+  for (const BitString& omega : internals) {
+    if (omega.size() < dims + 1) continue;  // skip virtual root
+    // The leaf named to f_md(ω) lies inside ω's region (this is what lets
+    // range queries reach a corner cell of the LCA with one DHT-lookup).
+    const BitString corner = leafOfName.at(naming(omega, dims));
+    ASSERT_TRUE(omega.isPrefixOf(corner))
+        << "omega=" << omega.toString() << " leaf=" << corner.toString();
+    // And it touches a corner of ω's region: in every dimension it is
+    // flush against one of ω's faces.
+    const Rect outer = labelRegion(omega, dims);
+    const Rect cell = labelRegion(corner, dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      EXPECT_TRUE(cell.lo()[d] == outer.lo()[d] ||
+                  cell.hi()[d] == outer.hi()[d])
+          << "omega=" << omega.toString() << " dim=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, NamingTreeTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{4}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})));
+
+}  // namespace
+}  // namespace mlight::core

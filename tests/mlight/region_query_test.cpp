@@ -1,0 +1,190 @@
+// Arbitrary-shape region queries (§6): ball/circle regions against the
+// brute-force oracle, plus the geometric primitives themselves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dht/network.h"
+#include "index/oracle.h"
+#include "index/region.h"
+#include "mlight/index.h"
+#include "workload/datasets.h"
+
+namespace mlight::core {
+namespace {
+
+using mlight::common::Point;
+using mlight::common::Rect;
+using mlight::common::Rng;
+using mlight::dht::Network;
+using mlight::index::BallRegion;
+using mlight::index::QueryRegion;
+using mlight::index::Record;
+using mlight::index::RectRegion;
+
+TEST(BallRegion, GeometryPrimitives) {
+  const BallRegion ball(Point{0.5, 0.5}, 0.2);
+  // Bounding box.
+  const Rect box = ball.boundingBox();
+  EXPECT_DOUBLE_EQ(box.lo()[0], 0.3);
+  EXPECT_DOUBLE_EQ(box.hi()[1], 0.7);
+  // Containment.
+  EXPECT_TRUE(ball.contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(ball.contains(Point{0.5, 0.69}));
+  EXPECT_FALSE(ball.contains(Point{0.65, 0.65}));  // corner of the box
+  // Intersection: a cell just touching the ball's axis extent.
+  EXPECT_TRUE(ball.intersects(Rect(Point{0.69, 0.45}, Point{0.9, 0.55})));
+  EXPECT_FALSE(ball.intersects(Rect(Point{0.66, 0.66}, Point{0.9, 0.9})));
+  // Cover: a tiny cell at the center is covered; the bounding box is not.
+  EXPECT_TRUE(ball.covers(Rect(Point{0.48, 0.48}, Point{0.52, 0.52})));
+  EXPECT_FALSE(ball.covers(box));
+}
+
+TEST(RectRegion, MatchesPlainRectSemantics) {
+  const Rect r(Point{0.2, 0.3}, Point{0.6, 0.7});
+  const RectRegion region(r);
+  EXPECT_EQ(region.boundingBox(), r);
+  EXPECT_TRUE(region.contains(Point{0.2, 0.3}));
+  EXPECT_FALSE(region.contains(Point{0.6, 0.7}));  // half-open
+  EXPECT_TRUE(region.covers(Rect(Point{0.3, 0.4}, Point{0.5, 0.6})));
+}
+
+class RegionQueryTest : public ::testing::Test {
+ protected:
+  RegionQueryTest() : net_(64) {
+    MLightConfig cfg;
+    cfg.thetaSplit = 12;
+    cfg.thetaMerge = 6;
+    cfg.maxEdgeDepth = 20;
+    index_ = std::make_unique<MLightIndex>(net_, cfg);
+    data_ = mlight::workload::clusteredDataset(800, 2, 3, 0.06, 21);
+    for (const auto& r : data_) index_->insert(r);
+  }
+
+  std::vector<Record> bruteForce(const QueryRegion& region) const {
+    std::vector<Record> out;
+    for (const auto& r : data_) {
+      if (region.contains(r.key)) out.push_back(r);
+    }
+    return out;
+  }
+
+  Network net_;
+  std::unique_ptr<MLightIndex> index_;
+  std::vector<Record> data_;
+};
+
+TEST_F(RegionQueryTest, CircleQueriesMatchBruteForce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BallRegion ball(Point{rng.uniform(), rng.uniform()},
+                          rng.uniform(0.02, 0.35));
+    auto got = index_->regionQuery(ball).records;
+    auto want = bruteForce(ball);
+    mlight::index::Oracle::sortById(got);
+    mlight::index::Oracle::sortById(want);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_F(RegionQueryTest, RectRegionEqualsRangeQuery) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double side = rng.uniform(0.05, 0.4);
+    const double x = rng.uniform() * (1 - side);
+    const double y = rng.uniform() * (1 - side);
+    const Rect r(Point{x, y}, Point{x + side, y + side});
+    auto viaRegion = index_->regionQuery(RectRegion(r)).records;
+    auto viaRange = index_->rangeQuery(r).records;
+    mlight::index::Oracle::sortById(viaRegion);
+    mlight::index::Oracle::sortById(viaRange);
+    EXPECT_EQ(viaRegion, viaRange);
+  }
+}
+
+TEST_F(RegionQueryTest, CircleCostsLessThanItsBoundingBox) {
+  // The shape-aware prune must beat querying the bounding box and
+  // filtering: the circle covers π/4 of the box's area.
+  const BallRegion ball(Point{0.35, 0.45}, 0.25);
+  const auto circle = index_->regionQuery(ball);
+  const auto box = index_->rangeQuery(
+      ball.boundingBox().intersection(Rect::unit(2)));
+  EXPECT_LE(circle.stats.cost.lookups, box.stats.cost.lookups);
+  EXPECT_LE(circle.records.size(), box.records.size());
+}
+
+TEST_F(RegionQueryTest, BallOutsideSpaceIsEmpty) {
+  const BallRegion ball(Point{3.0, 3.0}, 0.5);
+  EXPECT_TRUE(index_->regionQuery(ball).records.empty());
+}
+
+TEST_F(RegionQueryTest, BallCoveringEverythingReturnsAll) {
+  const BallRegion ball(Point{0.5, 0.5}, 2.0);
+  EXPECT_EQ(index_->regionQuery(ball).records.size(), data_.size());
+}
+
+TEST_F(RegionQueryTest, ParallelLookaheadAgreesOnCircles) {
+  const BallRegion ball(Point{0.4, 0.4}, 0.2);
+  auto basic = index_->regionQuery(ball).records;
+  index_->setLookahead(4);
+  auto parallel = index_->regionQuery(ball).records;
+  index_->setLookahead(1);
+  mlight::index::Oracle::sortById(basic);
+  mlight::index::Oracle::sortById(parallel);
+  EXPECT_EQ(basic, parallel);
+}
+
+TEST_F(RegionQueryTest, RangeCountMatchesRangeQuery) {
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    const double side = rng.uniform(0.05, 0.5);
+    const double x = rng.uniform() * (1 - side);
+    const double y = rng.uniform() * (1 - side);
+    const Rect r(Point{x, y}, Point{x + side, y + side});
+    const auto full = index_->rangeQuery(r);
+    const auto count = index_->rangeCount(r);
+    EXPECT_EQ(count.count, full.records.size());
+    // Same routing work...
+    EXPECT_EQ(count.stats.cost.lookups, full.stats.cost.lookups);
+    // ...but the count ships a fixed few bytes per visited bucket while
+    // the full query ships every record.
+    if (full.records.size() > 20) {
+      EXPECT_LT(count.stats.cost.bytesMoved, full.stats.cost.bytesMoved);
+    }
+  }
+}
+
+TEST_F(RegionQueryTest, ResultBytesAreMetered) {
+  // Query result traffic (records shipped back to the initiator) shows
+  // up in the per-query meter.
+  const Rect everything(Point{0.0, 0.0}, Point{1.0, 1.0});
+  const auto res = index_->rangeQuery(everything);
+  ASSERT_EQ(res.records.size(), data_.size());
+  std::size_t totalBytes = 0;
+  for (const auto& r : data_) totalBytes += r.byteSize();
+  // Nearly all records cross the network (a few may sit on the
+  // initiator itself).
+  EXPECT_GT(res.stats.cost.bytesMoved, totalBytes / 2);
+}
+
+TEST(RegionQuery, HigherDimensionalBall) {
+  Network net(32);
+  MLightConfig cfg;
+  cfg.dims = 3;
+  cfg.thetaSplit = 10;
+  cfg.thetaMerge = 5;
+  cfg.maxEdgeDepth = 18;
+  MLightIndex index(net, cfg);
+  const auto data = mlight::workload::uniformDataset(500, 3, 23);
+  for (const auto& r : data) index.insert(r);
+  const BallRegion ball(Point{0.5, 0.5, 0.5}, 0.3);
+  auto got = index.regionQuery(ball).records;
+  std::size_t want = 0;
+  for (const auto& r : data) want += ball.contains(r.key);
+  EXPECT_EQ(got.size(), want);
+}
+
+}  // namespace
+}  // namespace mlight::core

@@ -1,0 +1,194 @@
+#include "mlight/split.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mlight/kdspace.h"
+#include "mlight/naming.h"
+
+namespace mlight::core {
+namespace {
+
+using mlight::common::Point;
+using mlight::common::Rng;
+
+Record rec(double x, double y, std::uint64_t id = 0) {
+  Record r;
+  r.key = Point{x, y};
+  r.id = id;
+  return r;
+}
+
+// The worked example of Fig. 3 (ε = 2).  Four points placed so that the
+// optimal split subtree has 3 cells with loads {2, 2, 0}; the minimized
+// difference 4 equals the unsplit difference 4, so no split triggers.
+// After inserting (0.2, 0.2) the minimized difference drops to 1 < 9 and
+// the bucket splits into 3 cells with loads {2, 2, 1}.
+//
+// Note the paper's figure halves x first; our label convention halves the
+// last dimension first (per the paper's own interleaving examples), so we
+// place the points transposed — the arithmetic is identical.
+class Fig3Example : public ::testing::Test {
+ protected:
+  // All four points in the upper half; the first (y) cut yields {0, 4}
+  // and the second (x) cut splits the four 2/2, so the optimal split
+  // subtree has 3 cells with loads {2, 2, 0} and total difference
+  // (2-ε)² + (2-ε)² + (0-ε)² = 4 — exactly Fig 3a.
+  std::vector<Record> initial_{
+      rec(0.20, 0.60, 1),  // cluster A (x < 0.5, y >= 0.5)
+      rec(0.40, 0.70, 2),  // cluster A
+      rec(0.60, 0.80, 3),  // cluster B (x >= 0.5, y >= 0.5)
+      rec(0.80, 0.90, 4),  // cluster B
+  };
+  double epsilon_ = 2.0;
+};
+
+TEST_F(Fig3Example, BeforeInsertionNoSplit) {
+  const auto plan = planDataAwareSplit(rootLabel(2), Rect::unit(2),
+                                       initial_, epsilon_, 2, 28);
+  // Unsplit difference: (4-2)^2 = 4.  Best split: (2-2)^2+(2-2)^2+(0-2)^2
+  // = 4.  Not strictly better, so the bucket stays whole.
+  EXPECT_FALSE(plan.splits());
+  EXPECT_DOUBLE_EQ(plan.cost, 4.0);
+}
+
+TEST_F(Fig3Example, AfterInsertionSplitsIntoThreeCells) {
+  auto records = initial_;
+  records.push_back(rec(0.2, 0.2, 5));  // the paper's new point
+  const auto plan = planDataAwareSplit(rootLabel(2), Rect::unit(2),
+                                       records, epsilon_, 2, 28);
+  ASSERT_TRUE(plan.splits());
+  EXPECT_DOUBLE_EQ(plan.cost, 1.0);  // (2-2)^2+(2-2)^2+(1-2)^2
+  ASSERT_EQ(plan.leaves.size(), 3u);
+  std::multiset<std::size_t> loads;
+  std::size_t total = 0;
+  for (const auto& leaf : plan.leaves) {
+    loads.insert(leaf.records.size());
+    total += leaf.records.size();
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(loads, (std::multiset<std::size_t>{1, 2, 2}));
+}
+
+TEST(DataAwareSplit, EmptyBucketStaysWhole) {
+  const auto plan = planDataAwareSplit(rootLabel(2), Rect::unit(2), {},
+                                       2.0, 2, 28);
+  EXPECT_FALSE(plan.splits());
+  EXPECT_DOUBLE_EQ(plan.cost, 4.0);  // (0-2)^2
+}
+
+TEST(DataAwareSplit, LoadAtMostEpsilonStaysWhole) {
+  std::vector<Record> records{rec(0.1, 0.1), rec(0.9, 0.9)};
+  const auto plan = planDataAwareSplit(rootLabel(2), Rect::unit(2),
+                                       records, 2.0, 2, 28);
+  EXPECT_FALSE(plan.splits());
+  EXPECT_DOUBLE_EQ(plan.cost, 0.0);
+}
+
+TEST(DataAwareSplit, PlanLeavesFormAValidSubtree) {
+  Rng rng(11);
+  std::vector<Record> records;
+  for (int i = 0; i < 60; ++i) {
+    records.push_back(
+        rec(rng.uniform() * 0.4, rng.uniform() * 0.4,
+            static_cast<std::uint64_t>(i)));
+  }
+  const auto plan = planDataAwareSplit(rootLabel(2), Rect::unit(2),
+                                       records, 8.0, 2, 28);
+  ASSERT_TRUE(plan.splits());
+  double volume = 0.0;
+  std::size_t total = 0;
+  for (const auto& leaf : plan.leaves) {
+    EXPECT_TRUE(rootLabel(2).isPrefixOf(leaf.label));
+    const Rect region = labelRegion(leaf.label, 2);
+    for (const auto& r : leaf.records) {
+      EXPECT_TRUE(region.contains(r.key));
+    }
+    volume += region.volume();
+    total += leaf.records.size();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);  // leaves tile the bucket's region
+  EXPECT_EQ(total, records.size());
+}
+
+TEST(DataAwareSplit, CostNeverAboveStayingWhole) {
+  Rng rng(13);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<Record> records;
+    const std::size_t n = rng.below(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      records.push_back(rec(rng.uniform(), rng.uniform(), i));
+    }
+    const double eps = 1.0 + static_cast<double>(rng.below(6));
+    const auto plan = planDataAwareSplit(rootLabel(2), Rect::unit(2),
+                                         records, eps, 2, 12);
+    const double whole =
+        std::pow(static_cast<double>(n) - eps, 2.0);
+    EXPECT_LE(plan.cost, whole + 1e-12);
+    if (plan.splits()) {
+      EXPECT_LT(plan.cost, whole);
+    }
+  }
+}
+
+// Property: the DP of Algorithm 1 matches exhaustive enumeration over all
+// split subtrees on small instances, across dimensionalities and ε.
+class SplitOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double,
+                                                 std::uint64_t>> {};
+
+TEST_P(SplitOptimalityTest, MatchesBruteForce) {
+  const auto [dims, epsilon, seed] = GetParam();
+  Rng rng(seed);
+  for (int iter = 0; iter < 15; ++iter) {
+    std::vector<Record> records;
+    const std::size_t n = rng.below(14);
+    for (std::size_t i = 0; i < n; ++i) {
+      Record r;
+      r.key = Point(dims);
+      for (std::size_t d = 0; d < dims; ++d) r.key[d] = rng.uniform();
+      r.id = i;
+      records.push_back(r);
+    }
+    constexpr std::size_t kDepthCap = 6;
+    const auto plan =
+        planDataAwareSplit(rootLabel(dims), Rect::unit(dims), records,
+                           epsilon, dims, kDepthCap);
+    const double brute = bruteForceSplitCost(
+        rootLabel(dims), Rect::unit(dims), records, epsilon, dims,
+        kDepthCap);
+    EXPECT_DOUBLE_EQ(plan.cost, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitOptimalityTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}),
+                       ::testing::Values(1.0, 2.0, 4.0),
+                       ::testing::Values(std::uint64_t{3},
+                                         std::uint64_t{17})));
+
+TEST(PartitionOnce, SplitsByMidOfCyclingDimension) {
+  std::vector<Record> records{rec(0.1, 0.2, 1), rec(0.9, 0.8, 2),
+                              rec(0.4, 0.6, 3)};
+  // Root splits y (last dimension first).
+  const auto [lo, hi] =
+      partitionOnce(rootLabel(2), Rect::unit(2), records, 2);
+  ASSERT_EQ(lo.size(), 1u);
+  ASSERT_EQ(hi.size(), 2u);
+  EXPECT_EQ(lo[0].id, 1u);
+}
+
+TEST(PartitionOnce, BoundaryPointGoesToUpperHalf) {
+  std::vector<Record> records{rec(0.3, 0.5, 1)};
+  const auto [lo, hi] =
+      partitionOnce(rootLabel(2), Rect::unit(2), records, 2);
+  EXPECT_TRUE(lo.empty());
+  ASSERT_EQ(hi.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlight::core

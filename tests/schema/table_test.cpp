@@ -1,0 +1,119 @@
+#include "schema/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dht/network.h"
+
+namespace mlight::schema {
+namespace {
+
+using mlight::common::Rng;
+using mlight::dht::Network;
+
+Schema songSchema() {
+  return Schema({{"rating", 0.0, 5.0}, {"year", 1970.0, 2009.0}});
+}
+
+TEST(Schema, ValidatesAttributes) {
+  EXPECT_THROW(Schema({}), std::invalid_argument);
+  EXPECT_THROW(Schema({{"a", 1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Schema({{"a", 0.0, 1.0}, {"a", 0.0, 1.0}}),
+               std::invalid_argument);
+  const Schema s = songSchema();
+  EXPECT_EQ(s.dims(), 2u);
+  EXPECT_EQ(s.indexOf("year"), 1u);
+  EXPECT_THROW(s.indexOf("tempo"), std::invalid_argument);
+}
+
+TEST(Schema, NormalizeRoundTripsAndClamps) {
+  const Schema s = songSchema();
+  EXPECT_DOUBLE_EQ(s.normalize(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.normalize(0, 2.5), 0.5);
+  EXPECT_LT(s.normalize(0, 5.0), 1.0);   // clamped below 1
+  EXPECT_DOUBLE_EQ(s.normalize(0, -3.0), 0.0);  // clamped at 0
+  EXPECT_NEAR(s.denormalize(1, s.normalize(1, 1999.0)), 1999.0, 1e-9);
+  const auto p = s.encode(std::vector<double>{4.0, 2008.0});
+  const auto back = s.decode(p);
+  EXPECT_NEAR(back[0], 4.0, 1e-9);
+  EXPECT_NEAR(back[1], 2008.0, 1e-9);
+  EXPECT_THROW(s.encode(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Query, CompilesToExpectedRect) {
+  const Schema s = songSchema();
+  const auto rect = Query(s).ge("rating", 4.0).between("year", 2007, 2009)
+                        .toRect();
+  EXPECT_DOUBLE_EQ(rect.lo()[0], 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(rect.hi()[0], 1.0);  // unconstrained upper rating
+  EXPECT_DOUBLE_EQ(rect.lo()[1], (2007.0 - 1970.0) / 39.0);
+  EXPECT_DOUBLE_EQ(rect.hi()[1], 1.0);  // 2009 == domain max -> full top
+}
+
+TEST(Table, PaperMotivatingQuery) {
+  Network net(64);
+  Table songs(net, songSchema());
+  Rng rng(1);
+  std::size_t expected = 0;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    const double rating = 5.0 * rng.uniform();
+    const double year = 1970.0 + 38.9 * rng.uniform();
+    expected += (rating >= 4.0 && year >= 2007.0);
+    songs.insert(Row{{rating, year}, "song-" + std::to_string(i), i});
+  }
+  // "songs that are rated above 4 and published during 2007 and 2008"
+  const auto res =
+      songs.select(Query(songs.schema()).ge("rating", 4.0).between(
+          "year", 2007.0, 2009.0));
+  EXPECT_EQ(res.rows.size(), expected);
+  for (const auto& row : res.rows) {
+    EXPECT_GE(row.values[0], 4.0 - 1e-9);
+    EXPECT_GE(row.values[1], 2007.0 - 1e-9);
+  }
+  EXPECT_GE(res.stats.cost.lookups, 1u);
+}
+
+TEST(Table, UnconstrainedSelectReturnsAll) {
+  Network net(32);
+  Table t(net, Schema({{"x", -10.0, 10.0}}));
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    t.insert(Row{{-10.0 + 0.4 * static_cast<double>(i)}, "", i});
+  }
+  EXPECT_EQ(t.select(Query(t.schema())).rows.size(), 50u);
+}
+
+TEST(Table, EraseByValues) {
+  Network net(32);
+  Table t(net, songSchema());
+  t.insert(Row{{3.0, 1999.0}, "gone", 7});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.erase(std::vector<double>{3.0, 1999.0}, 7), 1u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Table, NearestNeighboursInAttributeSpace) {
+  Network net(32);
+  Table t(net, songSchema());
+  t.insert(Row{{4.9, 2008.0}, "hit", 1});
+  t.insert(Row{{1.0, 1975.0}, "flop", 2});
+  t.insert(Row{{4.5, 2006.0}, "good", 3});
+  const auto res = t.nearest(std::vector<double>{5.0, 2008.0}, 2);
+  ASSERT_EQ(res.rows.size(), 2u);
+  EXPECT_EQ(res.rows[0].id, 1u);
+  EXPECT_EQ(res.rows[1].id, 3u);
+}
+
+TEST(Table, DomainEdgeValuesAreQueryable) {
+  Network net(32);
+  Table t(net, Schema({{"v", 0.0, 100.0}}));
+  t.insert(Row{{0.0}, "min", 1});
+  t.insert(Row{{100.0}, "max-clamped", 2});  // clamps just under 100
+  const auto all = t.select(Query(t.schema()));
+  EXPECT_EQ(all.rows.size(), 2u);
+  const auto top = t.select(Query(t.schema()).ge("v", 99.0));
+  EXPECT_EQ(top.rows.size(), 1u);
+  EXPECT_EQ(top.rows[0].id, 2u);
+}
+
+}  // namespace
+}  // namespace mlight::schema

@@ -1,0 +1,48 @@
+// Test helpers: random space kd-trees as label sets, independent of the
+// index implementation, for checking the naming-function theorems.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/rng.h"
+#include "mlight/naming.h"
+
+namespace mlight::testutil {
+
+using mlight::common::BitString;
+
+/// Grows a random space kd-tree by `splits` random leaf splits; returns
+/// the leaf labels.  Depth capped at maxEdgeDepth.
+inline std::vector<BitString> randomTreeLeaves(std::size_t dims,
+                                               std::size_t splits,
+                                               std::uint64_t seed,
+                                               std::size_t maxEdgeDepth = 24) {
+  mlight::common::Rng rng(seed);
+  std::vector<BitString> leaves{mlight::core::rootLabel(dims)};
+  for (std::size_t s = 0; s < splits; ++s) {
+    const std::size_t pick = rng.below(leaves.size());
+    const BitString leaf = leaves[pick];
+    if (mlight::core::edgeDepth(leaf, dims) >= maxEdgeDepth) continue;
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(pick));
+    leaves.push_back(leaf.withBack(false));
+    leaves.push_back(leaf.withBack(true));
+  }
+  return leaves;
+}
+
+/// Internal nodes of the tree with the given leaves: every proper prefix
+/// of a leaf down to the root, plus the virtual root.
+inline std::set<BitString> internalNodes(const std::vector<BitString>& leaves,
+                                         std::size_t dims) {
+  std::set<BitString> internals{mlight::core::virtualRootLabel(dims)};
+  for (const BitString& leaf : leaves) {
+    for (std::size_t len = dims + 1; len < leaf.size(); ++len) {
+      internals.insert(leaf.prefix(len));
+    }
+  }
+  return internals;
+}
+
+}  // namespace mlight::testutil

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "common/stats.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace mlight::workload {
+namespace {
+
+using mlight::common::Rect;
+
+TEST(Datasets, NortheastHasRequestedSizeAndDomain) {
+  const auto data = northeastDataset(5000, 1);
+  ASSERT_EQ(data.size(), 5000u);
+  std::set<std::uint64_t> ids;
+  for (const auto& r : data) {
+    ASSERT_EQ(r.key.dims(), 2u);
+    ASSERT_GE(r.key[0], 0.0);
+    ASSERT_LT(r.key[0], 1.0);
+    ASSERT_GE(r.key[1], 0.0);
+    ASSERT_LT(r.key[1], 1.0);
+    EXPECT_FALSE(r.payload.empty());
+    ids.insert(r.id);
+  }
+  EXPECT_EQ(ids.size(), data.size());  // unique ids
+}
+
+TEST(Datasets, NortheastIsDeterministic) {
+  const auto a = northeastDataset(1000, 7);
+  const auto b = northeastDataset(1000, 7);
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const auto c = northeastDataset(1000, 8);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i].key == c[i].key);
+  EXPECT_LT(same, 10);
+}
+
+TEST(Datasets, NortheastIsClustered) {
+  // The synthetic NE stand-in must be strongly skewed: the densest 1% of
+  // cells on a 32x32 grid should hold far more than 1% of the points.
+  const auto data = northeastDataset(20000, 3);
+  std::map<int, int> grid;
+  for (const auto& r : data) {
+    grid[static_cast<int>(r.key[0] * 32) * 32 +
+         static_cast<int>(r.key[1] * 32)]++;
+  }
+  std::vector<int> counts;
+  for (const auto& [cell, count] : grid) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  int top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(counts.size()); ++i) {
+    top10 += counts[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(top10, 20000 / 5);  // top 10 of 1024 cells hold > 20%
+}
+
+TEST(Datasets, UniformCoversSpaceEvenly) {
+  const auto data = uniformDataset(20000, 2, 5);
+  int quadrants[4] = {};
+  for (const auto& r : data) {
+    quadrants[(r.key[0] >= 0.5 ? 1 : 0) + (r.key[1] >= 0.5 ? 2 : 0)]++;
+  }
+  for (int q : quadrants) {
+    EXPECT_GT(q, 4500);
+    EXPECT_LT(q, 5500);
+  }
+}
+
+TEST(Datasets, ClusteredRespectsDims) {
+  for (std::size_t dims : {1u, 2u, 4u}) {
+    const auto data = clusteredDataset(500, dims, 3, 0.05, 9);
+    ASSERT_EQ(data.size(), 500u);
+    for (const auto& r : data) {
+      ASSERT_EQ(r.key.dims(), dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        ASSERT_GE(r.key[d], 0.0);
+        ASSERT_LT(r.key[d], 1.0);
+      }
+    }
+  }
+}
+
+TEST(Queries, SpanControlsArea) {
+  for (double span : {0.05, 0.2, 0.6}) {
+    const auto queries = uniformRangeQueries(50, 2, span, 11);
+    ASSERT_EQ(queries.size(), 50u);
+    for (const Rect& q : queries) {
+      EXPECT_NEAR(q.volume(), span, span * 0.05);
+      EXPECT_TRUE(Rect::unit(2).containsRect(q));
+    }
+  }
+}
+
+TEST(Queries, ZeroSpanYieldsTinyBoxes) {
+  for (const Rect& q : uniformRangeQueries(10, 2, 0.0, 13)) {
+    EXPECT_LT(q.volume(), 1e-10);
+    EXPECT_FALSE(q.empty());
+  }
+}
+
+TEST(Queries, PositionsAreSpread) {
+  const auto queries = uniformRangeQueries(200, 2, 0.01, 17);
+  mlight::common::RunningStat xs;
+  for (const Rect& q : queries) xs.add(q.lo()[0]);
+  EXPECT_GT(xs.stddev(), 0.15);  // not clumped
+  EXPECT_NEAR(xs.mean(), 0.45, 0.1);
+}
+
+TEST(Queries, DeterministicPerSeed) {
+  const auto a = uniformRangeQueries(20, 2, 0.1, 19);
+  const auto b = uniformRangeQueries(20, 2, 0.1, 19);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(LoadPointsFile, ParsesAndNormalizes) {
+  const std::string path = ::testing::TempDir() + "/points.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "100 200 extra tokens ignored\n";
+    out << "300,400\n";          // comma separated
+    out << "200\t300\n";          // tab separated
+    out << "not a point\n";       // skipped
+    out << "\n";                  // blank skipped
+  }
+  const auto data = loadPointsFile(path, 2);
+  ASSERT_EQ(data.size(), 3u);
+  // Min-max normalization: x spans 100..300, y spans 200..400.
+  EXPECT_DOUBLE_EQ(data[0].key[0], 0.0);
+  EXPECT_DOUBLE_EQ(data[0].key[1], 0.0);
+  EXPECT_NEAR(data[1].key[0], 0.999999999, 1e-6);
+  EXPECT_NEAR(data[2].key[0], 0.5, 1e-9);
+  for (const auto& r : data) {
+    EXPECT_GE(r.key[0], 0.0);
+    EXPECT_LT(r.key[0], 1.0);
+  }
+}
+
+TEST(LoadPointsFile, ErrorsOnMissingOrTinyFiles) {
+  EXPECT_THROW(loadPointsFile("/nonexistent/file.txt", 2),
+               std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/one_point.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\n";
+  }
+  EXPECT_THROW(loadPointsFile(path, 2), std::runtime_error);
+}
+
+TEST(LoadPointsFile, DegenerateDimensionMapsToZero) {
+  const std::string path = ::testing::TempDir() + "/flat.txt";
+  {
+    std::ofstream out(path);
+    out << "5 1\n5 2\n5 3\n";  // x constant
+  }
+  const auto data = loadPointsFile(path, 2);
+  ASSERT_EQ(data.size(), 3u);
+  for (const auto& r : data) EXPECT_DOUBLE_EQ(r.key[0], 0.0);
+}
+
+}  // namespace
+}  // namespace mlight::workload
