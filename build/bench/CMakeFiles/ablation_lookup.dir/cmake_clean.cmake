@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lookup.dir/ablation_lookup.cpp.o"
+  "CMakeFiles/ablation_lookup.dir/ablation_lookup.cpp.o.d"
+  "ablation_lookup"
+  "ablation_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

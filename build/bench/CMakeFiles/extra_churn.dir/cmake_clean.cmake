@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_churn.dir/extra_churn.cpp.o"
+  "CMakeFiles/extra_churn.dir/extra_churn.cpp.o.d"
+  "extra_churn"
+  "extra_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

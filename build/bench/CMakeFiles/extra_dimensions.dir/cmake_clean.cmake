@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_dimensions.dir/extra_dimensions.cpp.o"
+  "CMakeFiles/extra_dimensions.dir/extra_dimensions.cpp.o.d"
+  "extra_dimensions"
+  "extra_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

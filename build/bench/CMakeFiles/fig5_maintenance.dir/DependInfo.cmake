@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_maintenance.cpp" "bench/CMakeFiles/fig5_maintenance.dir/fig5_maintenance.cpp.o" "gcc" "bench/CMakeFiles/fig5_maintenance.dir/fig5_maintenance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/mlight_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlight/CMakeFiles/mlight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pht/CMakeFiles/mlight_pht.dir/DependInfo.cmake"
+  "/root/repo/build/src/dst/CMakeFiles/mlight_dst.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/mlight_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mlight_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

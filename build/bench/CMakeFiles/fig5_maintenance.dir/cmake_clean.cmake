@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_maintenance.dir/fig5_maintenance.cpp.o"
+  "CMakeFiles/fig5_maintenance.dir/fig5_maintenance.cpp.o.d"
+  "fig5_maintenance"
+  "fig5_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_shell.dir/mlight_shell.cpp.o"
+  "CMakeFiles/mlight_shell.dir/mlight_shell.cpp.o.d"
+  "mlight_shell"
+  "mlight_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

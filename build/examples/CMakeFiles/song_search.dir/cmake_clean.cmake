@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/song_search.dir/song_search.cpp.o"
+  "CMakeFiles/song_search.dir/song_search.cpp.o.d"
+  "song_search"
+  "song_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/song_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_poi.dir/spatial_poi.cpp.o"
+  "CMakeFiles/spatial_poi.dir/spatial_poi.cpp.o.d"
+  "spatial_poi"
+  "spatial_poi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_poi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

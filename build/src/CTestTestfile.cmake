@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dht")
+subdirs("store")
+subdirs("index")
+subdirs("mlight")
+subdirs("pht")
+subdirs("dst")
+subdirs("workload")
+subdirs("schema")
+subdirs("rst")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_common.dir/bitstring.cpp.o"
+  "CMakeFiles/mlight_common.dir/bitstring.cpp.o.d"
+  "CMakeFiles/mlight_common.dir/geometry.cpp.o"
+  "CMakeFiles/mlight_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/mlight_common.dir/sha1.cpp.o"
+  "CMakeFiles/mlight_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/mlight_common.dir/zorder.cpp.o"
+  "CMakeFiles/mlight_common.dir/zorder.cpp.o.d"
+  "libmlight_common.a"
+  "libmlight_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

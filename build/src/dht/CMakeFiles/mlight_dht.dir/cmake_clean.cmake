@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_dht.dir/network.cpp.o"
+  "CMakeFiles/mlight_dht.dir/network.cpp.o.d"
+  "libmlight_dht.a"
+  "libmlight_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

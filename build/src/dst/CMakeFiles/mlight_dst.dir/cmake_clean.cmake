@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_dst.dir/dst_index.cpp.o"
+  "CMakeFiles/mlight_dst.dir/dst_index.cpp.o.d"
+  "libmlight_dst.a"
+  "libmlight_dst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_dst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

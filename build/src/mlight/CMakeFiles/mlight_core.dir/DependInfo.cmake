@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlight/index.cpp" "src/mlight/CMakeFiles/mlight_core.dir/index.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/index.cpp.o.d"
+  "/root/repo/src/mlight/index_knn.cpp" "src/mlight/CMakeFiles/mlight_core.dir/index_knn.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/index_knn.cpp.o.d"
+  "/root/repo/src/mlight/index_maintenance.cpp" "src/mlight/CMakeFiles/mlight_core.dir/index_maintenance.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/index_maintenance.cpp.o.d"
+  "/root/repo/src/mlight/index_query.cpp" "src/mlight/CMakeFiles/mlight_core.dir/index_query.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/index_query.cpp.o.d"
+  "/root/repo/src/mlight/kdspace.cpp" "src/mlight/CMakeFiles/mlight_core.dir/kdspace.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/kdspace.cpp.o.d"
+  "/root/repo/src/mlight/naming.cpp" "src/mlight/CMakeFiles/mlight_core.dir/naming.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/naming.cpp.o.d"
+  "/root/repo/src/mlight/split.cpp" "src/mlight/CMakeFiles/mlight_core.dir/split.cpp.o" "gcc" "src/mlight/CMakeFiles/mlight_core.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/mlight_dht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

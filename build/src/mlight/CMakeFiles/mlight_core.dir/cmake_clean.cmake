@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_core.dir/index.cpp.o"
+  "CMakeFiles/mlight_core.dir/index.cpp.o.d"
+  "CMakeFiles/mlight_core.dir/index_knn.cpp.o"
+  "CMakeFiles/mlight_core.dir/index_knn.cpp.o.d"
+  "CMakeFiles/mlight_core.dir/index_maintenance.cpp.o"
+  "CMakeFiles/mlight_core.dir/index_maintenance.cpp.o.d"
+  "CMakeFiles/mlight_core.dir/index_query.cpp.o"
+  "CMakeFiles/mlight_core.dir/index_query.cpp.o.d"
+  "CMakeFiles/mlight_core.dir/kdspace.cpp.o"
+  "CMakeFiles/mlight_core.dir/kdspace.cpp.o.d"
+  "CMakeFiles/mlight_core.dir/naming.cpp.o"
+  "CMakeFiles/mlight_core.dir/naming.cpp.o.d"
+  "CMakeFiles/mlight_core.dir/split.cpp.o"
+  "CMakeFiles/mlight_core.dir/split.cpp.o.d"
+  "libmlight_core.a"
+  "libmlight_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

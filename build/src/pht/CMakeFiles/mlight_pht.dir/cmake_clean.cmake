@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_pht.dir/pht_index.cpp.o"
+  "CMakeFiles/mlight_pht.dir/pht_index.cpp.o.d"
+  "libmlight_pht.a"
+  "libmlight_pht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_pht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mlight_pht.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlight_pht.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_rst.dir/rst_index.cpp.o"
+  "CMakeFiles/mlight_rst.dir/rst_index.cpp.o.d"
+  "libmlight_rst.a"
+  "libmlight_rst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_rst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mlight_rst.
+# This may be replaced when dependencies are built.

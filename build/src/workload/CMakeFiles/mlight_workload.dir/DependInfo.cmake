@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cpp" "src/workload/CMakeFiles/mlight_workload.dir/datasets.cpp.o" "gcc" "src/workload/CMakeFiles/mlight_workload.dir/datasets.cpp.o.d"
+  "/root/repo/src/workload/queries.cpp" "src/workload/CMakeFiles/mlight_workload.dir/queries.cpp.o" "gcc" "src/workload/CMakeFiles/mlight_workload.dir/queries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/mlight_dht.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_workload.dir/datasets.cpp.o"
+  "CMakeFiles/mlight_workload.dir/datasets.cpp.o.d"
+  "CMakeFiles/mlight_workload.dir/queries.cpp.o"
+  "CMakeFiles/mlight_workload.dir/queries.cpp.o.d"
+  "libmlight_workload.a"
+  "libmlight_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

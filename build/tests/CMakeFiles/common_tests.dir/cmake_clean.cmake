@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/bitstring_model_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/bitstring_model_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/bitstring_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/bitstring_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/geometry_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/geometry_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_stats_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/rng_stats_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/serde_fuzz_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/serde_fuzz_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/serde_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/serde_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/sha1_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/sha1_test.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/zorder_test.cpp.o"
+  "CMakeFiles/common_tests.dir/common/zorder_test.cpp.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_tests.dir/dht/latency_vnode_test.cpp.o"
+  "CMakeFiles/dht_tests.dir/dht/latency_vnode_test.cpp.o.d"
+  "CMakeFiles/dht_tests.dir/dht/network_test.cpp.o"
+  "CMakeFiles/dht_tests.dir/dht/network_test.cpp.o.d"
+  "CMakeFiles/dht_tests.dir/store/distributed_store_test.cpp.o"
+  "CMakeFiles/dht_tests.dir/store/distributed_store_test.cpp.o.d"
+  "CMakeFiles/dht_tests.dir/store/replication_test.cpp.o"
+  "CMakeFiles/dht_tests.dir/store/replication_test.cpp.o.d"
+  "dht_tests"
+  "dht_tests.pdb"
+  "dht_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

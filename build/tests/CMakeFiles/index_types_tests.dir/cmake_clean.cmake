@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_types_tests.dir/index/types_region_test.cpp.o"
+  "CMakeFiles/index_types_tests.dir/index/types_region_test.cpp.o.d"
+  "index_types_tests"
+  "index_types_tests.pdb"
+  "index_types_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_types_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mlight/bulkload_lht_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/bulkload_lht_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/bulkload_lht_test.cpp.o.d"
+  "/root/repo/tests/mlight/index_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/index_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/index_test.cpp.o.d"
+  "/root/repo/tests/mlight/kdspace_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/kdspace_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/kdspace_test.cpp.o.d"
+  "/root/repo/tests/mlight/knn_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/knn_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/knn_test.cpp.o.d"
+  "/root/repo/tests/mlight/naming_exhaustive_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/naming_exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/naming_exhaustive_test.cpp.o.d"
+  "/root/repo/tests/mlight/naming_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/naming_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/naming_test.cpp.o.d"
+  "/root/repo/tests/mlight/paper_trace_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/paper_trace_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/paper_trace_test.cpp.o.d"
+  "/root/repo/tests/mlight/region_query_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/region_query_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/region_query_test.cpp.o.d"
+  "/root/repo/tests/mlight/split_test.cpp" "tests/CMakeFiles/mlight_tests.dir/mlight/split_test.cpp.o" "gcc" "tests/CMakeFiles/mlight_tests.dir/mlight/split_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlight_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/mlight_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlight/CMakeFiles/mlight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pht/CMakeFiles/mlight_pht.dir/DependInfo.cmake"
+  "/root/repo/build/src/dst/CMakeFiles/mlight_dst.dir/DependInfo.cmake"
+  "/root/repo/build/src/rst/CMakeFiles/mlight_rst.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mlight_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

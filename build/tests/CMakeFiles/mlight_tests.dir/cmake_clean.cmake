@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlight_tests.dir/mlight/bulkload_lht_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/bulkload_lht_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/index_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/index_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/kdspace_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/kdspace_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/knn_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/knn_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/naming_exhaustive_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/naming_exhaustive_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/naming_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/naming_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/paper_trace_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/paper_trace_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/region_query_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/region_query_test.cpp.o.d"
+  "CMakeFiles/mlight_tests.dir/mlight/split_test.cpp.o"
+  "CMakeFiles/mlight_tests.dir/mlight/split_test.cpp.o.d"
+  "mlight_tests"
+  "mlight_tests.pdb"
+  "mlight_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlight_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_tests.dir/schema/table_test.cpp.o"
+  "CMakeFiles/schema_tests.dir/schema/table_test.cpp.o.d"
+  "schema_tests"
+  "schema_tests.pdb"
+  "schema_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

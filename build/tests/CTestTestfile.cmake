@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/dht_tests[1]_include.cmake")
+include("/root/repo/build/tests/mlight_tests[1]_include.cmake")
+include("/root/repo/build/tests/index_types_tests[1]_include.cmake")
+include("/root/repo/build/tests/schema_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
