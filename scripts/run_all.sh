@@ -12,13 +12,5 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-{
-  for b in build/bench/*; do
-    [ -x "$b" ] || continue
-    echo "===== $b $QUICK"
-    case "$b" in
-      *micro_ops) "$b" ;;  # google-benchmark rejects foreign flags
-      *) "$b" $QUICK ;;
-    esac
-  done
-} 2>&1 | tee bench_output.txt
+# shellcheck disable=SC2086  # QUICK is deliberately empty-or-one-flag
+scripts/run_benches.sh build $QUICK 2>&1 | tee bench_output.txt

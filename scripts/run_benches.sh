@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Shared benchmark loop used by scripts/run_all.sh (paper scale) and the
+# CI workflow (smoke scale) — one place encodes which binaries take
+# which flags, so the two callers cannot drift apart again.
+#
+# Usage: scripts/run_benches.sh BUILD_DIR [--quick] [--min-time=T]
+#   BUILD_DIR      build tree containing bench/ binaries
+#   --quick        propagate the harness's 1/10-scale flag to the
+#                  scenario benches (everything except micro_ops)
+#   --min-time=T   cap google-benchmark runtime for micro_ops, e.g.
+#                  --min-time=0.01s (micro_ops rejects foreign flags, so
+#                  it only ever receives --benchmark_min_time)
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: run_benches.sh BUILD_DIR [--quick] [--min-time=T]}"
+shift
+
+QUICK=""
+MIN_TIME=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --min-time=*)
+      # Pass a plain double: google-benchmark <1.8 rejects the "0.01s"
+      # suffix form and >=1.8 still accepts suffixless seconds.
+      T="${arg#--min-time=}"
+      MIN_TIME="--benchmark_min_time=${T%s}"
+      ;;
+    *) echo "run_benches.sh: unknown flag $arg" >&2; exit 2 ;;
+  esac
+done
+
+for b in "$BUILD_DIR"/bench/*; do
+  [ -x "$b" ] || continue
+  [ -f "$b" ] || continue
+  echo "===== $b ${QUICK:-} ${MIN_TIME:-}"
+  case "$b" in
+    *micro_ops) "$b" ${MIN_TIME:+"$MIN_TIME"} ;;
+    *) "$b" ${QUICK:+"$QUICK"} ;;
+  esac
+done

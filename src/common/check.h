@@ -8,6 +8,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace mlight::common {
 
@@ -23,11 +24,25 @@ class CheckFailure : public std::logic_error {
                      (msg.empty() ? "" : " — " + msg));
 }
 
+/// Out-of-line-ish failure path: materializes the message only after the
+/// condition has already failed, so message construction never runs (and
+/// never bloats the inlined fast path) on success.
+template <typename MsgFn>
+[[noreturn]] inline void checkFailedLazy(const char* expr, const char* file,
+                                         int line, MsgFn&& msgFn) {
+  checkFailed(expr, file, line, std::forward<MsgFn>(msgFn)());
+}
+
 }  // namespace mlight::common
 
-#define MLIGHT_CHECK(cond, msg)                                       \
-  do {                                                                \
-    if (!(cond)) {                                                    \
-      ::mlight::common::checkFailed(#cond, __FILE__, __LINE__, (msg)); \
-    }                                                                 \
+// `msg` may be an arbitrary string-building expression; it is wrapped in
+// a lambda invoked only on failure, so paranoid-level audits stay cheap
+// on hot paths even when callers pass concatenations.
+#define MLIGHT_CHECK(cond, msg)                                     \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::mlight::common::checkFailedLazy(                            \
+          #cond, __FILE__, __LINE__,                                \
+          [&]() -> ::std::string { return (msg); });                \
+    }                                                               \
   } while (false)

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/invariants.h"
+
 namespace mlight::dht {
 
 std::string toString(RingId id) {
@@ -186,6 +188,15 @@ bool Network::crashPeer(RingId id) {
 }
 
 void Network::rebuildFingers() {
+  if (mlight::common::auditEnabled(mlight::common::AuditLevel::kBoundaries)) {
+    // Finger construction and the predecessor mapping both assume the
+    // ring is sorted and duplicate-free; audit it at every membership
+    // change (the only times fingers are rebuilt).
+    std::vector<std::uint64_t> positions;
+    positions.reserve(peers_.size());
+    for (const RingId p : peers_) positions.push_back(p.value);
+    mlight::common::auditRingOrder(positions);
+  }
   fingers_.clear();
   for (RingId p : peers_) {
     std::vector<RingId>& table = fingers_[p];

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/invariants.h"
 #include "common/zorder.h"
 
 namespace mlight::dst {
@@ -213,10 +214,9 @@ void DstIndex::checkInvariants() const {
     MLIGHT_CHECK(key == n.label, "node stored under wrong key");
     MLIGHT_CHECK(n.label.size() % config_.dims == 0, "off-level node");
     MLIGHT_CHECK(n.label.size() <= config_.maxDepth, "node too deep");
-    const Rect cell = cellOfPath(n.label, config_.dims);
-    for (const auto& r : n.records) {
-      MLIGHT_CHECK(cell.contains(r.key), "record outside node cell");
-    }
+    mlight::common::auditRecordPlacement(
+        cellOfPath(n.label, config_.dims), n.records,
+        [](const Record& r) -> const Point& { return r.key; });
     if (n.label.size() == config_.maxDepth) {
       MLIGHT_CHECK(n.complete, "leaf-level node must be complete");
       leafRecords += n.records.size();

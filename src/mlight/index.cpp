@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/invariants.h"
 
 #include "mlight/kdspace.h"
 #include "mlight/naming.h"
@@ -151,6 +152,9 @@ void MLightIndex::insert(const Record& record) {
   } else {
     dataAwareAdjust(loc.key);
   }
+  if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
+    checkInvariants();
+  }
 }
 
 std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
@@ -170,6 +174,9 @@ std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
   }
   if (removed > 0 && config_.strategy == SplitStrategy::kThreshold) {
     thresholdMergeLoop(loc.key);
+  }
+  if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
+    checkInvariants();
   }
   return removed;
 }
@@ -249,25 +256,28 @@ std::size_t MLightIndex::treeDepth() const {
 }
 
 void MLightIndex::checkInvariants() const {
+  // Full structural audit over the shared invariant layer
+  // (common/invariants.h): Theorem 2/4 bijection, the tiling corollary
+  // of Theorem 1/3, and per-bucket record placement.
   const std::size_t m = config_.dims;
-  double totalVolume = 0.0;
+  std::vector<std::pair<Label, Label>> leafToKey;
+  std::vector<Label> leaves;
   std::size_t totalRecords = 0;
   store_.forEach([&](const Label& key, const LeafBucket& b,
                      mlight::dht::RingId owner) {
     MLIGHT_CHECK(isTreeNodeLabel(b.label, m), "bad leaf label");
     MLIGHT_CHECK(naming(b.label, m) == key, "bucket stored under wrong key");
     MLIGHT_CHECK(owner == store_.ownerOf(key), "bucket on wrong peer");
-    const Rect region = labelRegion(b.label, m);
-    for (const auto& r : b.records) {
-      MLIGHT_CHECK(region.contains(r.key), "record outside leaf region");
-    }
-    totalVolume += region.volume();
+    mlight::common::auditRecordPlacement(
+        labelRegion(b.label, m), b.records,
+        [](const Record& r) -> const Point& { return r.key; });
+    leafToKey.emplace_back(b.label, key);
+    leaves.push_back(b.label);
     totalRecords += b.records.size();
   });
+  mlight::common::auditNamingBijection(leafToKey, m);
+  mlight::common::auditSpaceTiling(leaves, m + 1);
   MLIGHT_CHECK(totalRecords == size_, "record count drift");
-  // Leaves of a space kd-tree tile the unit cube.
-  MLIGHT_CHECK(std::abs(totalVolume - 1.0) < 1e-9,
-               "leaves do not tile space");
 }
 
 }  // namespace mlight::core

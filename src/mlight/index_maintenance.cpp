@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/invariants.h"
 
 #include "mlight/kdspace.h"
 #include "mlight/naming.h"
@@ -65,6 +66,13 @@ void MLightIndex::bulkLoad(std::span<const Record> records) {
                            config_.maxEdgeDepth);
     leaves = std::move(plan.leaves);
   }
+  if (config_.strategy == SplitStrategy::kDataAware &&
+      mlight::common::auditEnabled(mlight::common::AuditLevel::kBoundaries)) {
+    std::vector<std::size_t> planLoads;
+    planLoads.reserve(leaves.size());
+    for (const PlanLeaf& leaf : leaves) planLoads.push_back(leaf.records.size());
+    mlight::common::auditLoadVariance(planLoads, config_.epsilon);
+  }
   // Replace the bootstrap root bucket with the computed layout: one
   // DHT-put per leaf from the initiating peer.
   store_.erase(naming(root, config_.dims));
@@ -77,6 +85,9 @@ void MLightIndex::bulkLoad(std::span<const Record> records) {
     size_ += bucket.records.size();
     breakdown_.insertShipBytes += bucket.byteSize();
     store_.place(initiator, key, std::move(bucket));
+  }
+  if (mlight::common::auditEnabled(mlight::common::AuditLevel::kBoundaries)) {
+    checkInvariants();
   }
 }
 
@@ -102,9 +113,7 @@ void MLightIndex::thresholdSplitLoop(Label key) {
     const Label key1 = naming(child1, config_.dims);
     // Theorem 5 (incremental split): one child keeps the parent's DHT key
     // and never leaves this peer; only the other is re-assigned.
-    MLIGHT_CHECK(
-        (key0 == k && key1 == lambda) || (key1 == k && key0 == lambda),
-        "Theorem 5 violated");
+    mlight::common::auditIncrementalSplit(lambda, k, key0, key1);
     const bool child0Stays = (key0 == k);
 
     LeafBucket stay;
@@ -138,6 +147,20 @@ void MLightIndex::dataAwareAdjust(const Label& key) {
   if (!plan.splits()) return;
 
   const auto owner = store_.ownerOf(key);
+  if (mlight::common::auditEnabled(mlight::common::AuditLevel::kBoundaries)) {
+    // Theorem 5 generalized to whole split subtrees, plus Theorem 6
+    // minimality of the chosen plan.
+    std::vector<Label> planKeys;
+    std::vector<std::size_t> planLoads;
+    planKeys.reserve(plan.leaves.size());
+    planLoads.reserve(plan.leaves.size());
+    for (const PlanLeaf& leaf : plan.leaves) {
+      planKeys.push_back(naming(leaf.label, config_.dims));
+      planLoads.push_back(leaf.records.size());
+    }
+    mlight::common::auditIncrementalSplitPlan(key, planKeys);
+    mlight::common::auditLoadVariance(planLoads, config_.epsilon);
+  }
   bool placedStay = false;
   for (PlanLeaf& leaf : plan.leaves) {
     const Label leafKey = naming(leaf.label, config_.dims);
@@ -188,9 +211,7 @@ void MLightIndex::thresholdMergeLoop(Label key) {
     // Merge: children of `parent` sit under keys {f_md(parent), parent};
     // the one under f_md(parent) absorbs the other (one bucket transfer).
     const Label stayKey = naming(parent, config_.dims);
-    MLIGHT_CHECK((key == stayKey && sibKey == parent) ||
-                     (key == parent && sibKey == stayKey),
-                 "Theorem 5 (merge) violated");
+    mlight::common::auditIncrementalSplit(parent, stayKey, key, sibKey);
     LeafBucket merged;
     merged.label = parent;
     merged.records = bucket->records;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/invariants.h"
 #include "common/zorder.h"
 
 namespace mlight::pht {
@@ -284,18 +285,20 @@ std::size_t PhtIndex::leafCount() const {
 }
 
 void PhtIndex::checkInvariants() const {
+  // Shared audit layer (common/invariants.h): PHT leaves are plain trie
+  // paths (root prefix 0 bits) and must tile the linearized key space;
+  // records must sit inside their leaf cell.
   std::size_t totalRecords = 0;
-  double leafVolume = 0.0;
+  std::vector<Label> leaves;
   store_.forEach([&](const Label& key, const PhtNode& n,
                      mlight::dht::RingId) {
     MLIGHT_CHECK(key == n.label, "node stored under wrong key");
     if (n.isLeaf) {
-      const Rect cell = cellOfPath(n.label, config_.dims);
-      for (const auto& r : n.records) {
-        MLIGHT_CHECK(cell.contains(r.key), "record outside leaf cell");
-      }
+      mlight::common::auditRecordPlacement(
+          cellOfPath(n.label, config_.dims), n.records,
+          [](const Record& r) -> const Point& { return r.key; });
       totalRecords += n.records.size();
-      leafVolume += cell.volume();
+      leaves.push_back(n.label);
     } else {
       MLIGHT_CHECK(n.records.empty(), "internal node holds data");
       MLIGHT_CHECK(store_.peek(n.label.withBack(false)) != nullptr &&
@@ -304,8 +307,7 @@ void PhtIndex::checkInvariants() const {
     }
   });
   MLIGHT_CHECK(totalRecords == size_, "record count drift");
-  MLIGHT_CHECK(std::abs(leafVolume - 1.0) < 1e-9,
-               "leaves do not tile space");
+  mlight::common::auditSpaceTiling(leaves, 0);
 }
 
 }  // namespace mlight::pht

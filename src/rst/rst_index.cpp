@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/invariants.h"
 #include "common/zorder.h"
 
 namespace mlight::rst {
@@ -197,10 +198,9 @@ void RstIndex::checkInvariants() const {
     MLIGHT_CHECK(n.label.size() >= config_.bandCeiling,
                  "node above the registration band");
     MLIGHT_CHECK(n.label.size() <= config_.maxDepth, "node too deep");
-    const Rect cell = cellOfPath(n.label, config_.dims);
-    for (const auto& r : n.records) {
-      MLIGHT_CHECK(cell.contains(r.key), "record outside node segment");
-    }
+    mlight::common::auditRecordPlacement(
+        cellOfPath(n.label, config_.dims), n.records,
+        [](const Record& r) -> const Point& { return r.key; });
     if (n.label.size() == config_.maxDepth) {
       MLIGHT_CHECK(n.complete, "leaf-level node must be complete");
       leafRecords += n.records.size();

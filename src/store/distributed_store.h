@@ -31,6 +31,7 @@
 
 #include "common/bitstring.h"
 #include "common/check.h"
+#include "common/invariants.h"
 #include "common/serde.h"
 #include "dht/network.h"
 
@@ -103,6 +104,15 @@ class DistributedStore {
           holders.end()) {
         holders.push_back(candidate);
       }
+    }
+    if (mlight::common::auditEnabled(
+            mlight::common::AuditLevel::kBoundaries)) {
+      // Copies must land on pairwise-distinct peers (failure
+      // independence) and never exceed the replication factor.
+      std::vector<std::uint64_t> positions;
+      positions.reserve(holders.size());
+      for (const RingId id : holders) positions.push_back(id.value);
+      mlight::common::auditReplicaHolders(positions, replication_);
     }
     return holders;
   }
