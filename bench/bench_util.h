@@ -9,6 +9,7 @@
 //   --quick       1/10th-scale smoke run (used by CI-style checks)
 #pragma once
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "dht/cost.h"
 #include "workload/datasets.h"
 
 namespace mlight::bench {
@@ -87,6 +89,22 @@ inline std::vector<mlight::index::Record> experimentDataset(
     return data;
   }
   return mlight::workload::northeastDataset(args.records, seed);
+}
+
+/// Column header matching meterCells() below.  `nameWidth` sizes the
+/// leading scheme/label column.
+inline void meterHeader(int nameWidth, const char* label) {
+  std::printf("\n%-*s %15s %15s %15s", nameWidth, label, "maint lookups",
+              "RPC msgs", "maint bytes");
+}
+
+/// Prints the standard maintenance-cost cells for one meter — DHT-lookups,
+/// RPC envelopes sent (dht::CostMeter::messages), and bytes moved — without
+/// a trailing newline so callers can append bench-specific columns.
+inline void meterCells(const char* name, int nameWidth,
+                       const mlight::dht::CostMeter& m) {
+  std::printf("%-*s %15" PRIu64 " %15" PRIu64 " %15" PRIu64, nameWidth,
+              name, m.lookups, m.messages, m.bytesMoved);
 }
 
 /// Prints a horizontal rule sized to the table width.

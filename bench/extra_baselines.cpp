@@ -81,11 +81,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n%-9s %15s %15s %14s %10s\n", "scheme", "maint lookups",
-              "maint bytes", "query lookups", "rounds");
+  bench::meterHeader(9, "scheme");
+  std::printf(" %14s %10s\n", "query lookups", "rounds");
   for (int i = 0; i < 4; ++i) {
-    std::printf("%-9s %15" PRIu64 " %15" PRIu64 " %14.1f %10.2f\n",
-                names[i], meters[i].lookups, meters[i].bytesMoved,
+    bench::meterCells(names[i], 9, meters[i]);
+    std::printf(" %14.1f %10.2f\n",
                 qLookups[i] / static_cast<double>(queries.size()),
                 qRounds[i] / static_cast<double>(queries.size()));
   }

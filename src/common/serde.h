@@ -42,6 +42,11 @@ class Writer {
     writeU32(static_cast<std::uint32_t>(s.size()));
     bytes_.insert(bytes_.end(), s.begin(), s.end());
   }
+  /// Length-prefixed raw byte blob (nested payloads, e.g. RPC bodies).
+  void writeBytes(std::span<const std::uint8_t> b) {
+    writeU32(static_cast<std::uint32_t>(b.size()));
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
   void writeBitString(const BitString& b) {
     writeU32(static_cast<std::uint32_t>(b.size()));
     for (std::uint64_t w : b.words()) writeU64(w);
@@ -81,6 +86,14 @@ class Reader {
     const std::uint32_t n = readU32();
     require(n);
     std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+  std::vector<std::uint8_t> readBytes() {
+    const std::uint32_t n = readU32();
+    require(n);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
     return out;
   }

@@ -21,12 +21,18 @@ struct CostMeter {
   std::uint64_t bytesMoved = 0;
   /// Data records shipped between distinct peers.
   std::uint64_t recordsMoved = 0;
+  /// RPC envelopes sent through the event core.  Distinct from lookups:
+  /// every envelope is routed (so messages <= lookups op-by-op only when
+  /// legacy lookup() is never used), and payload piggybacks on the
+  /// envelope rather than counting a message of its own.
+  std::uint64_t messages = 0;
 
   CostMeter& operator+=(const CostMeter& other) noexcept {
     lookups += other.lookups;
     hops += other.hops;
     bytesMoved += other.bytesMoved;
     recordsMoved += other.recordsMoved;
+    messages += other.messages;
     return *this;
   }
 
@@ -35,6 +41,7 @@ struct CostMeter {
     a.hops -= b.hops;
     a.bytesMoved -= b.bytesMoved;
     a.recordsMoved -= b.recordsMoved;
+    a.messages -= b.messages;
     return a;
   }
 };

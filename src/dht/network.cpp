@@ -124,6 +124,56 @@ void Network::shipPayload(RingId from, RingId to, std::size_t bytes,
   }
 }
 
+RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler) {
+  // Route + meter at issue time: the multiset of (initiator, key)
+  // resolutions an operation performs is determined by index structure,
+  // not delivery timing, so counts stay bit-identical to the old
+  // synchronous call sequence.
+  const RouteResult route = lookup(env.from, key);
+  env.to = route.owner;
+  env.id = nextRpcId_++;
+  total_.messages += 1;
+  if (meter_ != nullptr) meter_->messages += 1;
+
+  // Real wire bytes: the handler works from the deserialized copy.
+  common::Writer w;
+  env.serialize(w);
+
+  double& nextFree = sendQueueFree_[env.from];
+  const double departure = std::max(sched_.now(), nextFree);
+  nextFree = departure + latency_.sendOverheadMs;
+  const double arrival = departure + route.ms;
+
+  sched_.schedule(
+      arrival, [this, wire = std::move(w).take(), route, departure,
+                handler = std::move(handler)]() {
+        common::Reader r(wire);
+        RpcDelivery d;
+        d.env = RpcEnvelope::deserialize(r);
+        if (!r.atEnd()) {
+          throw common::SerdeError("rpc: trailing bytes after envelope");
+        }
+        d.route = route;
+        d.sentAt = departure;
+        d.deliveredAt = sched_.now();
+        timelineMaxRound_ = std::max(timelineMaxRound_, d.env.round);
+        if (rpcTrace_) rpcTrace_(d);
+        if (handler) handler(d);
+      });
+  return route;
+}
+
+double Network::beginTimeline() {
+  // Anything still in flight belongs to a previous operation (e.g. a
+  // fire-and-forget replica push); deliver it first so any follow-up
+  // RPCs its handlers issue are not charged to this operation, then
+  // start from a quiet network with idle send queues.
+  sched_.run();
+  sendQueueFree_.clear();
+  timelineMaxRound_ = 0;
+  return sched_.now();
+}
+
 RingId Network::randomPeer() {
   assert(!peers_.empty());
   return peers_[rng_.below(peers_.size())];

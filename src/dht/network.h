@@ -31,6 +31,8 @@
 #include "common/rng.h"
 #include "dht/cost.h"
 #include "dht/id.h"
+#include "dht/rpc.h"
+#include "dht/sim.h"
 
 namespace mlight::dht {
 
@@ -39,6 +41,16 @@ struct RouteResult {
   RingId owner;        ///< Peer responsible for the key.
   std::size_t hops;    ///< Overlay hops from the initiator.
   double ms;           ///< Simulated network time along the hop path.
+};
+
+/// What an RPC handler receives when its envelope arrives at the owner.
+/// `env` is the wire copy — serialized at the sender, deserialized at
+/// delivery — so handlers cannot accidentally share initiator state.
+struct RpcDelivery {
+  RpcEnvelope env;
+  RouteResult route;      ///< How the envelope was routed.
+  double sentAt = 0.0;    ///< Departure time (after send-queue delay).
+  double deliveredAt = 0.0;
 };
 
 /// Pairwise link latencies: deterministic per ordered peer pair, drawn
@@ -103,6 +115,48 @@ class Network {
   /// Accounts payload moving from `from` to `to` (no cost if same peer).
   void shipPayload(RingId from, RingId to, std::size_t bytes,
                    std::size_t records);
+
+  // --- Event-driven RPC core -------------------------------------------
+  //
+  // sendRpc() is the async counterpart of lookup(): it routes the
+  // envelope to the owner of `key` (metering one DHT-lookup, its hops,
+  // and one message — all at issue time, so meter scopes see costs in
+  // program order), pushes the serialized envelope through the sender's
+  // send queue, and schedules `handler` to run "at" the owner when the
+  // message arrives.  Count metrics are therefore identical to an
+  // equivalent sequence of lookup() calls; only the *timeline* differs.
+
+  using RpcHandler = std::function<void(const RpcDelivery&)>;
+
+  /// Issues `env` from env.from toward the owner of `key`.  Returns the
+  /// route immediately (counts are synchronous); the handler runs when
+  /// the scheduler reaches the arrival time.  Departure is serialized
+  /// per sender: the i-th envelope a peer issues in a burst departs
+  /// i * sendOverheadMs late, so wide fan-outs are latency-bound at the
+  /// sender even though links are parallel.
+  RouteResult sendRpc(RingId key, RpcEnvelope env, RpcHandler handler);
+
+  /// Current simulated time (ms since the network was built).
+  double now() const noexcept { return sched_.now(); }
+
+  /// Delivers every pending message (the synchronous facade's pump).
+  void run() { sched_.run(); }
+
+  std::size_t pendingEvents() const noexcept { return sched_.pending(); }
+
+  /// Marks the start of a measured operation: drains messages still in
+  /// flight from prior operations, clears per-sender send backlogs, and
+  /// resets the round high-water mark.  Returns now() — the operation's
+  /// t0 for emergent latencyMs.
+  double beginTimeline();
+
+  /// Deepest RPC round delivered since beginTimeline() — the paper's
+  /// "rounds of DHT-lookups" for the operation.
+  std::uint32_t timelineMaxRound() const noexcept { return timelineMaxRound_; }
+
+  /// Observes every delivery (replay/trace tests).  Null disables.
+  using RpcTraceFn = std::function<void(const RpcDelivery&)>;
+  void setRpcTrace(RpcTraceFn fn) { rpcTrace_ = std::move(fn); }
 
   /// A uniformly random live peer (deterministic via the network's RNG).
   RingId randomPeer();
@@ -188,6 +242,12 @@ class Network {
   CostMeter total_;
   std::size_t maxHops_ = 0;
   std::uint64_t nextPeerSerial_ = 0;
+
+  SimScheduler sched_;
+  std::map<RingId, double> sendQueueFree_;  // per-sender next free slot
+  std::uint64_t nextRpcId_ = 0;
+  std::uint32_t timelineMaxRound_ = 0;
+  RpcTraceFn rpcTrace_;
 };
 
 /// RAII helper: installs a meter on construction, restores on destruction.

@@ -1,0 +1,30 @@
+#include "dht/rpc.h"
+
+namespace mlight::dht {
+
+void RpcEnvelope::serialize(common::Writer& w) const {
+  w.writeU64(id);
+  w.writeU8(static_cast<std::uint8_t>(kind));
+  w.writeU64(from.value);
+  w.writeU64(to.value);
+  w.writeU32(round);
+  w.writeBytes(payload);
+}
+
+RpcEnvelope RpcEnvelope::deserialize(common::Reader& r) {
+  RpcEnvelope env;
+  env.id = r.readU64();
+  const std::uint8_t kind = r.readU8();
+  if (kind < static_cast<std::uint8_t>(RpcKind::kGet) ||
+      kind > static_cast<std::uint8_t>(RpcKind::kResponse)) {
+    throw common::SerdeError("rpc: unknown envelope kind");
+  }
+  env.kind = static_cast<RpcKind>(kind);
+  env.from = RingId{r.readU64()};
+  env.to = RingId{r.readU64()};
+  env.round = r.readU32();
+  env.payload = r.readBytes();
+  return env;
+}
+
+}  // namespace mlight::dht

@@ -1,0 +1,51 @@
+// Typed RPC envelope exchanged between peers.
+//
+// Every remote bucket access an index performs — locate probes, range
+// forwarding, replica pushes — travels as one of these envelopes.  The
+// envelope crosses the simulated wire through the serde layer, so the
+// header bytes metered by CostMeter are the bytes a deployed node would
+// actually put on the network, and the receiving handler works from the
+// deserialized copy (never from initiator-side state).
+//
+// `round` is the RPC chain depth: a handler that issues a follow-up RPC
+// stamps it `round + 1`.  The maximum round delivered during an
+// operation is exactly the paper's "rounds of DHT-lookups" — parallel
+// fan-out at the same depth shares a round, sequential dependency
+// chains deepen it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "dht/id.h"
+
+namespace mlight::dht {
+
+enum class RpcKind : std::uint8_t {
+  kGet = 1,    ///< Read a bucket at the owner.
+  kPut = 2,    ///< Store a serialized bucket at the owner.
+  kVisit = 3,  ///< Run arbitrary logic at the owner (read-modify-write).
+  kResponse = 4,
+};
+
+struct RpcEnvelope {
+  std::uint64_t id = 0;  ///< Assigned by Network::sendRpc (global order).
+  RpcKind kind = RpcKind::kGet;
+  RingId from{};
+  RingId to{};  ///< Owner vnode; filled in at routing time.
+  std::uint32_t round = 1;
+  std::vector<std::uint8_t> payload;  ///< Kind-specific body (serde bytes).
+
+  /// Exact size of the serialized envelope.
+  std::size_t wireSize() const noexcept {
+    // id + kind + from + to + round + payload length prefix + payload.
+    return 8 + 1 + 8 + 8 + 4 + 4 + payload.size();
+  }
+
+  void serialize(common::Writer& w) const;
+  static RpcEnvelope deserialize(common::Reader& r);
+};
+
+}  // namespace mlight::dht

@@ -1,0 +1,22 @@
+#include "dht/sim.h"
+
+namespace mlight::dht {
+
+std::uint64_t SimScheduler::schedule(double at, Fn fn) {
+  const std::uint64_t seq = nextSeq_++;
+  heap_.push_back(Event{std::max(at, clock_.now()), seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return seq;
+}
+
+bool SimScheduler::runOne() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  clock_.advanceTo(ev.at);
+  ev.fn();
+  return true;
+}
+
+}  // namespace mlight::dht

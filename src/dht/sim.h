@@ -1,0 +1,88 @@
+// Discrete-event simulation core for the DHT overlay.
+//
+// The paper's latency metric is *rounds of DHT-lookups* executed by real
+// peers exchanging real messages over Bamboo.  Instead of computing that
+// analytically per forwarding wave, the Network schedules every RPC as a
+// timestamped delivery on this scheduler and the timeline — clock
+// advances, per-peer send-queue serialization, parallel link overlap —
+// emerges from execution.  Indexes pump the loop to completion via the
+// synchronous facade, so the simulation stays single-threaded and
+// deterministic.
+//
+// Determinism contract: events fire in (time, sequence) order, where the
+// sequence number is assigned at schedule time.  Two runs that schedule
+// the same callbacks at the same times execute them in the same order,
+// which is what makes whole-workload replay byte-exact (see
+// tests/integration/replay_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace mlight::dht {
+
+/// Monotonic simulated clock (milliseconds).  Time only moves forward:
+/// delivering an event stamped earlier than `now` runs it at `now`.
+class SimClock {
+ public:
+  double now() const noexcept { return now_; }
+  void advanceTo(double t) noexcept { now_ = std::max(now_, t); }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Priority event queue + clock.  Not thread-safe by design — the whole
+/// overlay is one deterministic simulation.
+class SimScheduler {
+ public:
+  using Fn = std::function<void()>;
+
+  double now() const noexcept { return clock_.now(); }
+
+  /// Schedules `fn` to run at simulated time `at` (clamped to `now`).
+  /// Returns the event's sequence number (global issue order).
+  std::uint64_t schedule(double at, Fn fn);
+
+  /// Delivers the next event, advancing the clock to its timestamp.
+  /// Returns false when the queue is empty.
+  bool runOne();
+
+  /// Pumps the queue dry.  Re-entrant: a callback may itself call run()
+  /// (the synchronous store facade does) — the inner call drains the
+  /// queue and the outer loop simply finds it empty.
+  void run() {
+    while (runOne()) {
+    }
+  }
+
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Total events ever scheduled (timeline fingerprint for replay tests).
+  std::uint64_t scheduledCount() const noexcept { return nextSeq_; }
+
+ private:
+  struct Event {
+    double at = 0.0;
+    std::uint64_t seq = 0;
+    Fn fn;
+  };
+  /// std::push_heap keeps the *greatest* element on top, so "greater"
+  /// here means "fires later": min-(time, seq) ends up at the front.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::vector<Event> heap_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace mlight::dht

@@ -53,33 +53,46 @@ void DstIndex::insert(const Record& record) {
   }
   const auto initiator = randomPeer();
   const Label path = interleave(record.key, config_.maxDepth);
-  // Replicate at every ancestor (subject to saturation): one DHT-lookup
-  // per level — the maintenance price of DST's O(1) queries.
-  for (std::size_t level = 0; level <= levels(); ++level) {
-    const Label label = path.prefix(level * config_.dims);
-    const auto found = store_.routeAndFind(initiator, label);
-    const bool isLeafLevel = (level == levels());
-    if (found.bucket == nullptr) {
-      DstNode node;
-      node.label = label;
-      node.records.push_back(record);
-      net_->shipPayload(initiator, found.owner, record.byteSize(), 1);
-      store_.placeLocal(label, std::move(node));
-      continue;
-    }
-    DstNode& node = *found.bucket;
-    if (!isLeafLevel) {
-      if (!node.complete) continue;  // saturated long ago; skip
-      if (node.records.size() >= config_.gamma) {
-        // This record does not fit: the node's replica set is no longer
-        // the full contents of its region.
-        node.complete = false;
-        continue;
-      }
-    }
-    node.records.push_back(record);
-    net_->shipPayload(initiator, found.owner, record.byteSize(), 1);
-  }
+  // Replicate at every ancestor (subject to saturation): one visit RPC
+  // per level — the maintenance price of DST's O(1) queries.  The levels
+  // form a continuation chain (each handler issues the next level one
+  // round deeper); the saturation check runs at the owning peer, against
+  // the owner's copy of the node.
+  std::function<void(std::size_t, std::uint32_t)> visitLevel =
+      [&](std::size_t level, std::uint32_t round) {
+        const Label label = path.prefix(level * config_.dims);
+        store_.asyncVisit(
+            initiator, label, round,
+            [&, label, level](DstNode* node,
+                              const mlight::dht::RpcDelivery& d) {
+              const bool isLeafLevel = (level == levels());
+              if (node == nullptr) {
+                DstNode fresh;
+                fresh.label = label;
+                fresh.records.push_back(record);
+                net_->shipPayload(initiator, d.route.owner,
+                                  record.byteSize(), 1);
+                store_.placeLocal(label, std::move(fresh));
+              } else if (isLeafLevel) {
+                node->records.push_back(record);
+                net_->shipPayload(initiator, d.route.owner,
+                                  record.byteSize(), 1);
+              } else if (node->complete) {
+                if (node->records.size() >= config_.gamma) {
+                  // This record does not fit: the node's replica set is
+                  // no longer the full contents of its region.
+                  node->complete = false;
+                } else {
+                  node->records.push_back(record);
+                  net_->shipPayload(initiator, d.route.owner,
+                                    record.byteSize(), 1);
+                }
+              }  // else: saturated long ago; skip
+              if (level < levels()) visitLevel(level + 1, d.env.round + 1);
+            });
+      };
+  visitLevel(0, 1);
+  net_->run();
   ++size_;
 }
 
@@ -104,6 +117,7 @@ std::size_t DstIndex::erase(const Point& key, std::uint64_t id) {
 }
 
 mlight::index::PointResult DstIndex::pointQuery(const Point& key) {
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   mlight::index::PointResult out;
@@ -117,8 +131,8 @@ mlight::index::PointResult DstIndex::pointQuery(const Point& key) {
     }
   }
   out.stats.cost = meter;
-  out.stats.rounds = 1;
-  out.stats.latencyMs = found.ms;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 
@@ -155,55 +169,48 @@ mlight::index::RangeResult DstIndex::rangeQuery(const Rect& range) {
   const Rect clipped = range.intersection(Rect::unit(config_.dims));
   if (clipped.empty()) return out;
 
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
-  std::size_t rounds = 0;
 
   // The canonical decomposition is computed locally (the tree is static),
-  // then every canonical node is one parallel DHT-lookup away: O(1)
-  // rounds unless saturation forces descents.
-  struct Task {
-    Label label;
-    mlight::dht::RingId source;
-  };
-  std::vector<Task> wave;
+  // then every canonical node is one parallel probe RPC away: O(1)
+  // rounds unless saturation forces descents, which chain one round
+  // deeper per level from the probed node's owner.
+  std::function<void(const Label&, mlight::dht::RingId, std::uint32_t)>
+      probe = [&](const Label& label, mlight::dht::RingId source,
+                  std::uint32_t round) {
+        store_.asyncGet(
+            source, label, round,
+            [&, label](DstNode* node, const mlight::dht::RpcDelivery& d) {
+              if (node == nullptr) return;  // empty region
+              if (node->complete) {
+                collectInRange(*node, clipped, out.records);
+                return;
+              }
+              // Saturated: replica set incomplete, descend one level.
+              const std::size_t fan = std::size_t{1} << config_.dims;
+              for (std::size_t child = 0; child < fan; ++child) {
+                Label childLabel = label;
+                for (std::size_t b = 0; b < config_.dims; ++b) {
+                  childLabel.pushBack((child >> (config_.dims - 1 - b)) & 1u);
+                }
+                if (cellOfPath(childLabel, config_.dims)
+                        .intersects(clipped)) {
+                  probe(childLabel, d.route.owner, d.env.round + 1);
+                }
+              }
+            });
+      };
   for (Label& label : decompose(clipped)) {
-    wave.push_back(Task{std::move(label), initiator});
+    probe(label, initiator, 1);
   }
 
-  double latencyMs = 0.0;
-  while (!wave.empty()) {
-    ++rounds;
-    mlight::index::WaveLatency waveLatency;
-    std::vector<Task> next;
-    for (const Task& task : wave) {
-      const auto found = store_.routeAndFind(task.source, task.label);
-      waveLatency.add(task.source, found.ms);
-      if (found.bucket == nullptr) continue;  // empty region
-      if (found.bucket->complete) {
-        collectInRange(*found.bucket, clipped, out.records);
-        continue;
-      }
-      // Saturated: replica set incomplete, descend one level.
-      const std::size_t fan = std::size_t{1} << config_.dims;
-      for (std::size_t child = 0; child < fan; ++child) {
-        Label childLabel = task.label;
-        for (std::size_t b = 0; b < config_.dims; ++b) {
-          childLabel.pushBack((child >> (config_.dims - 1 - b)) & 1u);
-        }
-        if (cellOfPath(childLabel, config_.dims).intersects(clipped)) {
-          next.push_back(Task{std::move(childLabel), found.owner});
-        }
-      }
-    }
-    wave = std::move(next);
-    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
-  }
-
+  net_->run();
   out.stats.cost = meter;
-  out.stats.rounds = rounds;
-  out.stats.latencyMs = latencyMs;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 

@@ -1,27 +1,34 @@
 // Shared result/statistics types for all over-DHT indexes.
 #pragma once
 
-#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "dht/cost.h"
-#include "dht/id.h"
 #include "index/record.h"
 
 namespace mlight::index {
 
 /// Per-query cost report, in the paper's units:
 ///  * bandwidth  = number of DHT-lookups consumed (cost.lookups);
-///  * latency    = rounds of DHT-lookups (depth of the parallel
-///    forwarding waves, §6's worked example).
+///  * latency    = rounds of DHT-lookups (§6's worked example).
+///
+/// Both latency figures are read off the discrete-event timeline
+/// (dht::SimScheduler): every probe travels as an RPC envelope stamped
+/// with its chain depth, so `rounds` is the deepest round delivered
+/// during the operation — parallel fan-out at one depth shares a round,
+/// sequential dependency chains (binary-search probes, saturation
+/// descents, speculation fallbacks) deepen it.  `latencyMs` is the
+/// elapsed simulated time: link latencies of concurrent probes overlap,
+/// while each sender serializes its own burst at sendOverheadMs per
+/// message — the emergent replacement for the old analytic per-wave
+/// formula (see docs/COST_MODEL.md).
 struct QueryStats {
   mlight::dht::CostMeter cost;
   std::size_t rounds = 0;
-  /// Simulated wall latency: per round, the slowest parallel lookup of
-  /// that wave; sequential probes accumulate.
+  /// Simulated wall-clock latency (Network::now() at quiescence minus
+  /// the operation's beginTimeline() start).
   double latencyMs = 0.0;
 };
 
@@ -35,30 +42,6 @@ struct RangeResult {
 struct PointResult {
   std::vector<Record> records;  ///< All records whose key equals the probe.
   QueryStats stats;
-};
-
-/// Accumulates the simulated latency of one parallel wave of lookups:
-/// links run in parallel, but each *sender* serializes its own burst, so
-/// the wave costs max(path ms) + (largest per-sender burst) x overhead.
-/// This is the term that makes huge fan-outs latency-bound at the
-/// issuing peer (see docs/COST_MODEL.md).
-class WaveLatency {
- public:
-  void add(mlight::dht::RingId sender, double pathMs) {
-    maxPathMs_ = std::max(maxPathMs_, pathMs);
-    maxBurst_ = std::max(maxBurst_, ++perSender_[sender]);
-  }
-
-  double totalMs(double sendOverheadMs) const {
-    if (perSender_.empty()) return 0.0;
-    return maxPathMs_ +
-           static_cast<double>(maxBurst_ - 1) * sendOverheadMs;
-  }
-
- private:
-  std::map<mlight::dht::RingId, std::size_t> perSender_;
-  std::size_t maxBurst_ = 0;
-  double maxPathMs_ = 0.0;
 };
 
 }  // namespace mlight::index

@@ -33,6 +33,7 @@ MLightIndex::MLightIndex(mlight::dht::Network& net, MLightConfig config)
   LeafBucket root;
   root.label = rootLabel(config_.dims);
   store_.placeLocal(rootKey, std::move(root));
+  net_->run();  // deliver bootstrap replica envelopes, if any
 }
 
 mlight::dht::RingId MLightIndex::randomPeer() {
@@ -41,8 +42,8 @@ mlight::dht::RingId MLightIndex::randomPeer() {
 }
 
 MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
-                                         const Point& p,
-                                         std::size_t hiCap) {
+                                         const Point& p, std::size_t hiCap,
+                                         std::uint32_t roundBase) {
   const std::size_t m = config_.dims;
   const Label full = pointPathLabel(p, m, config_.maxEdgeDepth);
   std::size_t lo = 0;
@@ -64,7 +65,9 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
       assert(lo <= hi && "lookup binary search lost the target");
       continue;
     }
-    const auto found = store_.routeAndFind(initiator, key);
+    const auto found = store_.routeAndFind(
+        initiator, key,
+        roundBase + static_cast<std::uint32_t>(result.probes));
     probedKeys.push_back(key);
     ++result.probes;
     result.ms += found.ms;
@@ -96,6 +99,7 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
 }
 
 MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const std::size_t m = config_.dims;
@@ -108,7 +112,9 @@ MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
     const Label probeKey = naming(candidate, m);
     if (probeKey == lastProbed) continue;  // consecutive shared name
     lastProbed = probeKey;
-    const auto found = store_.routeAndFind(initiator, probeKey);
+    const auto found = store_.routeAndFind(
+        initiator, probeKey,
+        static_cast<std::uint32_t>(out.stats.rounds) + 1);
     ++out.stats.rounds;
     if (found.bucket != nullptr &&
         found.bucket->label.isPrefixOf(full)) {
@@ -117,18 +123,23 @@ MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
     }
   }
   out.stats.cost = meter;
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 
 MLightIndex::LookupResult MLightIndex::lookup(const Point& key) {
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locate(randomPeer(), key);
   LookupResult out;
   out.leaf = loc.leaf;
   out.stats.cost = meter;
-  out.stats.rounds = loc.probes;  // probes are sequential
-  out.stats.latencyMs = loc.ms;
+  // Probes are sequential RPCs at rounds 1..probes, so the deepest round
+  // delivered equals the probe count and the elapsed simulated time is
+  // the accumulated routing latency.
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 
@@ -152,6 +163,9 @@ void MLightIndex::insert(const Record& record) {
   } else {
     dataAwareAdjust(loc.key);
   }
+  // Quiesce: deliver fire-and-forget replica envelopes before returning
+  // so the next operation starts from an idle network.
+  net_->run();
   if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
     checkInvariants();
   }
@@ -175,6 +189,7 @@ std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
   if (removed > 0 && config_.strategy == SplitStrategy::kThreshold) {
     thresholdMergeLoop(loc.key);
   }
+  net_->run();
   if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
     checkInvariants();
   }
@@ -182,6 +197,7 @@ std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
 }
 
 mlight::index::PointResult MLightIndex::pointQuery(const Point& key) {
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locate(randomPeer(), key);
@@ -192,8 +208,8 @@ mlight::index::PointResult MLightIndex::pointQuery(const Point& key) {
     if (r.key == key) out.records.push_back(r);
   }
   out.stats.cost = meter;
-  out.stats.rounds = loc.probes;
-  out.stats.latencyMs = loc.ms;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 
@@ -224,6 +240,7 @@ void MLightIndex::installTreeForTesting(const std::vector<Label>& leaves) {
     bucket.label = leaf;
     store_.placeLocal(key, std::move(bucket));
   }
+  net_->run();
   checkInvariants();
 }
 

@@ -205,9 +205,13 @@ class MLightIndex final : public mlight::index::IndexBase {
   /// §5 binary search over candidate prefixes.  Meters one DHT-lookup per
   /// probe; probes are sequential (rounds == probes).  `hiCap` bounds the
   /// initial upper edge-depth when the caller already knows the leaf is
-  /// shallow (the range query's NULL-at-LCA fallback).
+  /// shallow (the range query's NULL-at-LCA fallback).  `roundBase` is
+  /// the RPC round of the first probe — callers continuing an existing
+  /// chain (the fallback runs after the round-1 LCA probe) pass the next
+  /// depth so the event timeline counts their probes as further rounds.
   Located locate(mlight::dht::RingId initiator, const Point& p,
-                 std::size_t hiCap = static_cast<std::size_t>(-1));
+                 std::size_t hiCap = static_cast<std::size_t>(-1),
+                 std::uint32_t roundBase = 1);
 
   mlight::dht::RingId randomPeer();
 

@@ -119,11 +119,10 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
   const Rect clipped = box.intersection(Rect::unit(config_.dims));
   if (clipped.empty()) return out;
 
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
-  std::size_t rounds = 1;
-  double latencyMs = 0.0;
   countOut = 0;
 
   // Collects from one visited bucket and ships the result (full records
@@ -145,13 +144,75 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
     }
   };
 
+  // One forwarding step (Algorithm 3 body) as an RPC continuation: the
+  // handler runs "at" the probed node's owner when the envelope arrives,
+  // harvests locally, and issues follow-up RPCs one round deeper.  The
+  // task tree — and hence every count metric — is identical to the old
+  // breadth-first wave loop; only the timeline is now emergent (probes
+  // of one round overlap, each chain deepens independently).
+  std::function<void(const Task&, std::uint32_t)> issueTask =
+      [&](const Task& task, std::uint32_t round) {
+        const Label key = naming(task.target, config_.dims);
+        store_.asyncGet(
+            task.source, key, round,
+            // `issueTask` and the locals captured by reference outlive
+            // every handler: the event loop is pumped dry below, inside
+            // this frame.
+            [this, &issueTask, &harvest, &region, task,
+             key](LeafBucket* bucket, const mlight::dht::RpcDelivery& d) {
+              if (trace_ != nullptr) {
+                trace_->push_back(TraceEvent{
+                    d.env.round, key,
+                    bucket != nullptr ? bucket->label : Label{},
+                    bucket != nullptr});
+              }
+              if (bucket == nullptr) {
+                // Speculation overshot the real tree; retry the in-tree
+                // branch node without speculation.
+                assert(task.target != task.fallback);
+                issueTask(Task{task.range, task.fallback, task.fallback,
+                               d.route.owner, task.depthHint},
+                          d.env.round + 1);
+                return;
+              }
+              const Label& leafLabel = bucket->label;
+              if (task.target.isPrefixOf(leafLabel)) {
+                harvest(*bucket, task.range, d.route.owner);
+                const std::size_t hint = edgeDepth(leafLabel, config_.dims);
+                std::vector<Task> follow;
+                for (std::size_t len = task.target.size() + 1;
+                     len <= leafLabel.size(); ++len) {
+                  const Label branch = leafLabel.prefix(len).sibling();
+                  const Rect branchRegion = labelRegion(branch, config_.dims);
+                  const Rect sub = task.range.intersection(branchRegion);
+                  if (!sub.empty() && region.intersects(branchRegion)) {
+                    enqueueForward(follow, sub, branch, d.route.owner, hint);
+                  }
+                }
+                for (const Task& t : follow) issueTask(t, d.env.round + 1);
+              } else if (labelRegion(leafLabel, config_.dims)
+                             .containsRect(task.range)) {
+                // Speculative probe landed on a leaf covering the piece.
+                harvest(*bucket, task.range, d.route.owner);
+              } else {
+                // Mismatched speculative hit: fall back to the in-tree
+                // node.
+                assert(task.target != task.fallback);
+                issueTask(Task{task.range, task.fallback, task.fallback,
+                               d.route.owner, task.depthHint},
+                          d.env.round + 1);
+              }
+            });
+      };
+
   // Algorithm 2: forward to the LCA's name; the probe reaches a corner
-  // cell of the LCA region (Theorem 1).
+  // cell of the LCA region (Theorem 1).  This first probe is round 1 and
+  // stays synchronous — it alone decides whether the query degenerates
+  // to a point lookup or fans out.
   const Label omega =
       lowestCommonAncestor(clipped, config_.dims, config_.maxEdgeDepth);
   const Label omegaKey = naming(omega, config_.dims);
   const auto first = store_.routeAndFind(initiator, omegaKey);
-  latencyMs += first.ms;
   if (trace_ != nullptr) {
     trace_->push_back(TraceEvent{
         1, omegaKey,
@@ -159,18 +220,17 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
         first.bucket != nullptr});
   }
 
-  std::vector<Task> wave;
   if (first.bucket == nullptr) {
     // f_md(ω) is not an internal node, so a single leaf covers the whole
     // range; find it with a point lookup of the range's corner.  The
-    // failed probe already proved the leaf is no deeper than f_md(ω).
+    // failed probe already proved the leaf is no deeper than f_md(ω);
+    // the sequential probes continue the chain at round 2.
     const Located loc =
         locate(first.owner, clipped.lo(),
                omegaKey.size() >= config_.dims + 1
                    ? edgeDepth(omegaKey, config_.dims)
-                   : std::size_t{0});
-    rounds += loc.probes;
-    latencyMs += loc.ms;
+                   : std::size_t{0},
+               /*roundBase=*/2);
     const LeafBucket* bucket = store_.peek(loc.key);
     assert(bucket != nullptr);
     harvest(*bucket, clipped, loc.owner);
@@ -185,71 +245,23 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
     // real child is the root #, which has no sibling, so branch
     // enumeration starts below the root.
     const std::size_t firstLen = std::max(base.size() + 1, config_.dims + 2);
+    std::vector<Task> seed;
     for (std::size_t len = firstLen; len <= leafLabel.size(); ++len) {
       const Label branch = leafLabel.prefix(len).sibling();
       const Rect branchRegion = labelRegion(branch, config_.dims);
       const Rect sub = clipped.intersection(branchRegion);
       if (!sub.empty() && region.intersects(branchRegion)) {
-        enqueueForward(wave, sub, branch, first.owner, hint);
+        enqueueForward(seed, sub, branch, first.owner, hint);
       }
     }
+    for (const Task& t : seed) issueTask(t, 2);
   }
 
-  // Breadth-first waves: every task in a wave is an independent parallel
-  // DHT-lookup, so one wave costs one round of latency.
-  while (!wave.empty()) {
-    ++rounds;
-    mlight::index::WaveLatency waveLatency;
-    std::vector<Task> next;
-    for (const Task& task : wave) {
-      const Label key = naming(task.target, config_.dims);
-      const auto found = store_.routeAndFind(task.source, key);
-      waveLatency.add(task.source, found.ms);
-      if (trace_ != nullptr) {
-        trace_->push_back(TraceEvent{
-            rounds, key,
-            found.bucket != nullptr ? found.bucket->label : Label{},
-            found.bucket != nullptr});
-      }
-      if (found.bucket == nullptr) {
-        // Speculation overshot the real tree; retry the in-tree branch
-        // node without speculation.
-        assert(task.target != task.fallback);
-        next.push_back(Task{task.range, task.fallback, task.fallback,
-                            found.owner, task.depthHint});
-        continue;
-      }
-      const Label& leafLabel = found.bucket->label;
-      if (task.target.isPrefixOf(leafLabel)) {
-        harvest(*found.bucket, task.range, found.owner);
-        const std::size_t hint = edgeDepth(leafLabel, config_.dims);
-        for (std::size_t len = task.target.size() + 1;
-             len <= leafLabel.size(); ++len) {
-          const Label branch = leafLabel.prefix(len).sibling();
-          const Rect branchRegion = labelRegion(branch, config_.dims);
-          const Rect sub = task.range.intersection(branchRegion);
-          if (!sub.empty() && region.intersects(branchRegion)) {
-            enqueueForward(next, sub, branch, found.owner, hint);
-          }
-        }
-      } else if (labelRegion(leafLabel, config_.dims)
-                     .containsRect(task.range)) {
-        // Speculative probe landed on a leaf that covers the whole piece.
-        harvest(*found.bucket, task.range, found.owner);
-      } else {
-        // Mismatched speculative hit: fall back to the in-tree node.
-        assert(task.target != task.fallback);
-        next.push_back(Task{task.range, task.fallback, task.fallback,
-                            found.owner, task.depthHint});
-      }
-    }
-    wave = std::move(next);
-    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
-  }
-
+  // Drive the cascade to quiescence; stats fall out of the timeline.
+  net_->run();
   out.stats.cost = meter;
-  out.stats.rounds = rounds;
-  out.stats.latencyMs = latencyMs;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 

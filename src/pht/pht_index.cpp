@@ -46,7 +46,7 @@ mlight::dht::RingId PhtIndex::randomPeer() {
 }
 
 PhtIndex::Located PhtIndex::locate(mlight::dht::RingId initiator,
-                                   const Point& p) {
+                                   const Point& p, std::uint32_t roundBase) {
   const Label full = interleave(p, config_.maxDepth);
   std::size_t lo = 0;
   std::size_t hi = config_.maxDepth;
@@ -54,7 +54,9 @@ PhtIndex::Located PhtIndex::locate(mlight::dht::RingId initiator,
   for (;;) {
     const std::size_t t = lo + (hi - lo) / 2;
     const Label candidate = full.prefix(t);
-    const auto found = store_.routeAndFind(initiator, candidate);
+    const auto found = store_.routeAndFind(
+        initiator, candidate,
+        roundBase + static_cast<std::uint32_t>(result.probes));
     ++result.probes;
     result.ms += found.ms;
     if (found.bucket == nullptr) {
@@ -191,6 +193,7 @@ void PhtIndex::mergeLoop(Label leafLabel) {
 }
 
 mlight::index::PointResult PhtIndex::pointQuery(const Point& key) {
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locate(randomPeer(), key);
@@ -201,8 +204,8 @@ mlight::index::PointResult PhtIndex::pointQuery(const Point& key) {
     if (r.key == key) out.records.push_back(r);
   }
   out.stats.cost = meter;
-  out.stats.rounds = loc.probes;
-  out.stats.latencyMs = loc.ms;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 
@@ -215,64 +218,59 @@ mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
       range.intersection(Rect::unit(config_.dims));
   if (clipped.empty()) return out;
 
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
-  std::size_t rounds = 1;
-  double latencyMs = 0.0;
+
+  // Trie descent as RPC continuations: probing a child is an envelope
+  // one round deeper than its parent's delivery; siblings that miss the
+  // range are pruned locally before any traffic is issued.
+  std::function<void(const Label&, mlight::dht::RingId, std::uint32_t)>
+      descend = [&](const Label& label, mlight::dht::RingId source,
+                    std::uint32_t round) {
+        if (!cellOfPath(label, config_.dims).intersects(clipped)) {
+          return;  // pruned locally, no DHT traffic
+        }
+        store_.asyncGet(
+            source, label, round,
+            [&, label](PhtNode* node, const mlight::dht::RpcDelivery& d) {
+              MLIGHT_CHECK(node != nullptr, "trie prefix closure violated");
+              if (node->isLeaf) {
+                collectInRange(*node, clipped, out.records);
+              } else {
+                descend(label.withBack(false), d.route.owner,
+                        d.env.round + 1);
+                descend(label.withBack(true), d.route.owner,
+                        d.env.round + 1);
+              }
+            });
+      };
 
   const Label lca =
       lowestCoveringPath(clipped, config_.dims, config_.maxDepth);
   const auto first = store_.routeAndFind(initiator, lca);
-  latencyMs += first.ms;
-  struct Task {
-    Label label;
-    mlight::dht::RingId source;
-  };
-  std::vector<Task> wave;
   if (first.bucket == nullptr) {
     // The LCA prefix is below the trie: a single leaf above it covers the
-    // whole range; find it by point lookup of the range corner.
-    const Located loc = locate(first.owner, clipped.lo());
-    rounds += loc.probes;
-    latencyMs += loc.ms;
+    // whole range; find it by point lookup of the range corner (the
+    // sequential probes continue the chain at round 2).
+    const Located loc = locate(first.owner, clipped.lo(), /*roundBase=*/2);
     const PhtNode* leaf = store_.peek(loc.leaf);
     assert(leaf != nullptr);
     collectInRange(*leaf, clipped, out.records);
   } else if (first.bucket->isLeaf) {
     collectInRange(*first.bucket, clipped, out.records);
   } else {
-    // Internal nodes hold no data: descend the trie level by level, one
-    // round of parallel child probes per level, all the way to leaves.
-    wave.push_back(Task{lca.withBack(false), first.owner});
-    wave.push_back(Task{lca.withBack(true), first.owner});
+    // Internal nodes hold no data: descend the trie, one round of
+    // parallel child probes per level, all the way to leaves.
+    descend(lca.withBack(false), first.owner, 2);
+    descend(lca.withBack(true), first.owner, 2);
   }
 
-  while (!wave.empty()) {
-    ++rounds;
-    mlight::index::WaveLatency waveLatency;
-    std::vector<Task> next;
-    for (const Task& task : wave) {
-      if (!cellOfPath(task.label, config_.dims).intersects(clipped)) {
-        continue;  // pruned locally, no DHT traffic
-      }
-      const auto found = store_.routeAndFind(task.source, task.label);
-      waveLatency.add(task.source, found.ms);
-      MLIGHT_CHECK(found.bucket != nullptr, "trie prefix closure violated");
-      if (found.bucket->isLeaf) {
-        collectInRange(*found.bucket, clipped, out.records);
-      } else {
-        next.push_back(Task{task.label.withBack(false), found.owner});
-        next.push_back(Task{task.label.withBack(true), found.owner});
-      }
-    }
-    wave = std::move(next);
-    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
-  }
-
+  net_->run();
   out.stats.cost = meter;
-  out.stats.rounds = rounds;
-  out.stats.latencyMs = latencyMs;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 

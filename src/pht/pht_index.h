@@ -116,7 +116,8 @@ class PhtIndex final : public mlight::index::IndexBase {
     std::size_t probes = 0;
     double ms = 0.0;
   };
-  Located locate(mlight::dht::RingId initiator, const Point& p);
+  Located locate(mlight::dht::RingId initiator, const Point& p,
+                 std::uint32_t roundBase = 1);
   mlight::dht::RingId randomPeer();
   void splitLoop(Label leaf);
   void mergeLoop(Label leaf);

@@ -52,31 +52,44 @@ void RstIndex::insert(const Record& record) {
   const auto initiator = randomPeer();
   const Label path = interleave(record.key, config_.maxDepth);
   // Register within the band: every binary level from the ceiling down
-  // to the leaf, skipping saturated nodes (one DHT-lookup per level).
-  for (std::size_t level = config_.bandCeiling; level <= config_.maxDepth;
-       ++level) {
-    const Label label = path.prefix(level);
-    const auto found = store_.routeAndFind(initiator, label);
-    const bool isLeafLevel = (level == config_.maxDepth);
-    if (found.bucket == nullptr) {
-      RstNode node;
-      node.label = label;
-      node.records.push_back(record);
-      net_->shipPayload(initiator, found.owner, record.byteSize(), 1);
-      store_.placeLocal(label, std::move(node));
-      continue;
-    }
-    RstNode& node = *found.bucket;
-    if (!isLeafLevel) {
-      if (!node.complete) continue;
-      if (node.records.size() >= config_.gamma) {
-        node.complete = false;
-        continue;
-      }
-    }
-    node.records.push_back(record);
-    net_->shipPayload(initiator, found.owner, record.byteSize(), 1);
-  }
+  // to the leaf, skipping saturated nodes.  The levels form a
+  // continuation chain of visit RPCs, each one round deeper; the
+  // saturation check runs at the owning peer.
+  std::function<void(std::size_t, std::uint32_t)> visitLevel =
+      [&](std::size_t level, std::uint32_t round) {
+        const Label label = path.prefix(level);
+        store_.asyncVisit(
+            initiator, label, round,
+            [&, label, level](RstNode* node,
+                              const mlight::dht::RpcDelivery& d) {
+              const bool isLeafLevel = (level == config_.maxDepth);
+              if (node == nullptr) {
+                RstNode fresh;
+                fresh.label = label;
+                fresh.records.push_back(record);
+                net_->shipPayload(initiator, d.route.owner,
+                                  record.byteSize(), 1);
+                store_.placeLocal(label, std::move(fresh));
+              } else if (isLeafLevel) {
+                node->records.push_back(record);
+                net_->shipPayload(initiator, d.route.owner,
+                                  record.byteSize(), 1);
+              } else if (node->complete) {
+                if (node->records.size() >= config_.gamma) {
+                  node->complete = false;
+                } else {
+                  node->records.push_back(record);
+                  net_->shipPayload(initiator, d.route.owner,
+                                    record.byteSize(), 1);
+                }
+              }  // else: saturated long ago; skip
+              if (level < config_.maxDepth) {
+                visitLevel(level + 1, d.env.round + 1);
+              }
+            });
+      };
+  visitLevel(config_.bandCeiling, 1);
+  net_->run();
   ++size_;
 }
 
@@ -102,6 +115,7 @@ std::size_t RstIndex::erase(const Point& key, std::uint64_t id) {
 }
 
 mlight::index::PointResult RstIndex::pointQuery(const Point& key) {
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   mlight::index::PointResult out;
@@ -113,8 +127,8 @@ mlight::index::PointResult RstIndex::pointQuery(const Point& key) {
     }
   }
   out.stats.cost = meter;
-  out.stats.rounds = 1;
-  out.stats.latencyMs = found.ms;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 
@@ -146,47 +160,41 @@ mlight::index::RangeResult RstIndex::rangeQuery(const Rect& range) {
   const Rect clipped = range.intersection(Rect::unit(config_.dims));
   if (clipped.empty()) return out;
 
+  const double t0 = net_->beginTimeline();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
-  std::size_t rounds = 0;
-  double latencyMs = 0.0;
 
-  struct Task {
-    Label label;
-    mlight::dht::RingId source;
-  };
-  std::vector<Task> wave;
+  // Canonical segments probe in parallel at round 1; saturated segments
+  // descend via follow-up RPCs from the probed node's owner, one round
+  // deeper per binary level.
+  std::function<void(const Label&, mlight::dht::RingId, std::uint32_t)>
+      probe = [&](const Label& label, mlight::dht::RingId source,
+                  std::uint32_t round) {
+        store_.asyncGet(
+            source, label, round,
+            [&, label](RstNode* node, const mlight::dht::RpcDelivery& d) {
+              if (node == nullptr) return;  // empty segment
+              if (node->complete) {
+                collectInRange(*node, clipped, out.records);
+                return;
+              }
+              for (const bool bit : {false, true}) {
+                const Label child = label.withBack(bit);
+                if (cellOfPath(child, config_.dims).intersects(clipped)) {
+                  probe(child, d.route.owner, d.env.round + 1);
+                }
+              }
+            });
+      };
   for (Label& label : decompose(clipped)) {
-    wave.push_back(Task{std::move(label), initiator});
+    probe(label, initiator, 1);
   }
 
-  while (!wave.empty()) {
-    ++rounds;
-    mlight::index::WaveLatency waveLatency;
-    std::vector<Task> next;
-    for (const Task& task : wave) {
-      const auto found = store_.routeAndFind(task.source, task.label);
-      waveLatency.add(task.source, found.ms);
-      if (found.bucket == nullptr) continue;  // empty segment
-      if (found.bucket->complete) {
-        collectInRange(*found.bucket, clipped, out.records);
-        continue;
-      }
-      for (const bool bit : {false, true}) {
-        Label child = task.label.withBack(bit);
-        if (cellOfPath(child, config_.dims).intersects(clipped)) {
-          next.push_back(Task{std::move(child), found.owner});
-        }
-      }
-    }
-    wave = std::move(next);
-    latencyMs += waveLatency.totalMs(net_->sendOverheadMs());
-  }
-
+  net_->run();
   out.stats.cost = meter;
-  out.stats.rounds = rounds;
-  out.stats.latencyMs = latencyMs;
+  out.stats.rounds = net_->timelineMaxRound();
+  out.stats.latencyMs = net_->now() - t0;
   return out;
 }
 

@@ -73,11 +73,22 @@ class DistributedStore {
   std::size_t replication() const noexcept { return replication_; }
 
   /// Ring position of a label's DHT key (salt 0 = primary key; higher
-  /// salts are candidate replica keys).
+  /// salts are candidate replica keys).  Labels are immutable and the
+  /// naming function is pure, so the label→id mapping is computed once
+  /// per (label, salt) and cached forever — the hot path of every locate
+  /// probe and forwarding step no longer rebuilds strings and rehashes.
   RingId ringKey(const Label& label, std::size_t salt = 0) const {
-    if (salt == 0) return mlight::dht::keyId(ns_ + label.toString());
-    return mlight::dht::keyId(ns_ + label.toString() + "#r" +
-                              std::to_string(salt));
+    std::vector<RingId>& salts = ringKeyCache_[label];
+    while (salts.size() <= salt) {
+      const std::size_t s = salts.size();
+      if (s == 0) {
+        salts.push_back(mlight::dht::keyId(ns_ + label.toString()));
+      } else {
+        salts.push_back(mlight::dht::keyId(ns_ + label.toString() + "#r" +
+                                           std::to_string(s)));
+      }
+    }
+    return salts[salt];
   }
 
   /// Peer currently responsible for `label`'s primary key (no cost).
@@ -124,53 +135,133 @@ class DistributedStore {
     Bucket* bucket;  ///< nullptr when no bucket is stored under the key.
   };
 
+  // --- Async RPC API ---------------------------------------------------
+  //
+  // The owner-side half of every store operation runs as an RPC handler
+  // scheduled by the network: the initiator issues a typed envelope
+  // (costing one DHT-lookup + one message at issue time, exactly where
+  // the old synchronous code metered its lookup), and the continuation
+  // executes "at" the owning peer when the message arrives, working from
+  // the wire copy of the request.  The synchronous methods below are
+  // thin drivers that issue the RPC and pump the event loop dry.
+
+  /// Continuation invoked at the owner: the bucket stored under the
+  /// requested label (nullptr if none) plus the delivery metadata
+  /// (route, timestamps, round).
+  using VisitFn =
+      std::function<void(Bucket*, const mlight::dht::RpcDelivery&)>;
+
+  /// Async DHT-get: routes a kGet envelope carrying `label` to its
+  /// owner; `fn` runs at arrival with the bucket found there.  `round`
+  /// is the RPC chain depth — handlers issuing follow-ups pass their
+  /// delivery's round + 1.
+  void asyncGet(RingId initiator, const Label& label, std::uint32_t round,
+                VisitFn fn) {
+    asyncAccess(mlight::dht::RpcKind::kGet, initiator, label, round,
+                std::move(fn));
+  }
+
+  /// Async read-modify-write: like asyncGet but typed kVisit — the
+  /// continuation may mutate the bucket or the store (split, append,
+  /// re-place) on the owner's behalf.
+  void asyncVisit(RingId initiator, const Label& label, std::uint32_t round,
+                  VisitFn fn) {
+    asyncAccess(mlight::dht::RpcKind::kVisit, initiator, label, round,
+                std::move(fn));
+  }
+
+  /// Async DHT-put: serializes the bucket, ships it (and its replica
+  /// copies) toward the owners, and stores the decoded copy when the
+  /// primary envelope arrives.  Payload bytes are metered at issue, like
+  /// the old synchronous put; replica envelopes are fire-and-forget.
+  void asyncPut(RingId source, const Label& label, Bucket bucket,
+                std::uint32_t round = 1) {
+    // The bucket crosses the (simulated) wire: serialize for real, both
+    // to keep the byte accounting exact and so the wire format is
+    // exercised on every put; the owner stores what comes out of the
+    // decoder at delivery.
+    mlight::common::Writer bucketWire;
+    bucket.serialize(bucketWire);
+    MLIGHT_CHECK(bucketWire.size() == bucket.byteSize(),
+                 "byteSize() disagrees with the wire format");
+    const std::vector<RingId> holders = copyHolders(label);
+
+    mlight::common::Writer body;
+    body.writeBitString(label);
+    body.writeBytes(bucketWire.bytes());
+
+    mlight::dht::RpcEnvelope env;
+    env.kind = mlight::dht::RpcKind::kPut;
+    env.from = source;
+    env.round = round;
+    env.payload = std::move(body).take();
+
+    net_->sendRpc(
+        ringKey(label), env,
+        [this, holders](const mlight::dht::RpcDelivery& d) {
+          mlight::common::Reader r(d.env.payload);
+          const Label wireLabel = r.readBitString();
+          const std::vector<std::uint8_t> bucketBytes = r.readBytes();
+          mlight::common::Reader br(bucketBytes);
+          Entry entry;
+          entry.holders = holders;
+          entry.bucket = Bucket::deserialize(br);
+          MLIGHT_CHECK(br.atEnd(), "wire format left trailing bytes");
+          entries_.insert_or_assign(wireLabel, std::move(entry));
+        });
+    net_->shipPayload(source, holders[0], bucketWire.size(),
+                      bucket.recordCount());
+    for (std::size_t i = 1; i < holders.size(); ++i) {
+      net_->sendRpc(ringKey(label, i), env,
+                    [](const mlight::dht::RpcDelivery&) {});
+      net_->shipPayload(source, holders[i], bucketWire.size(),
+                        bucket.recordCount());
+    }
+  }
+
   /// One DHT-lookup: routes from `initiator` to the key's owner and
-  /// returns the bucket stored there, if any.
-  Found routeAndFind(RingId initiator, const Label& label) {
-    const auto route = net_->lookup(initiator, ringKey(label));
-    auto it = entries_.find(label);
-    Bucket* bucket = (it == entries_.end()) ? nullptr : &it->second.bucket;
-    return Found{route.owner, route.hops, route.ms, bucket};
+  /// returns the bucket stored there, if any.  Synchronous facade over
+  /// asyncGet — issues the RPC and pumps the event loop to completion,
+  /// so the simulated clock advances by the routing latency.
+  Found routeAndFind(RingId initiator, const Label& label,
+                     std::uint32_t round = 1) {
+    Found out{};
+    asyncGet(initiator, label, round,
+             [&out](Bucket* bucket, const mlight::dht::RpcDelivery& d) {
+               out = Found{d.route.owner, d.route.hops, d.route.ms, bucket};
+             });
+    net_->run();
+    return out;
   }
 
   /// DHT-put: routes from `source`, ships the bucket payload to the owner
   /// of every copy (no bytes for copies the source itself owns), and
   /// stores/replaces it.  Returns the primary owner.
   RingId place(RingId source, const Label& label, Bucket bucket) {
-    // The bucket crosses the (simulated) wire: serialize for real, both
-    // to keep the byte accounting exact and so the wire format is
-    // exercised on every put, then store what came out of the decoder.
-    mlight::common::Writer wire;
-    bucket.serialize(wire);
-    MLIGHT_CHECK(wire.size() == bucket.byteSize(),
-                 "byteSize() disagrees with the wire format");
-    mlight::common::Reader reader(wire.bytes());
-    Entry entry;
-    entry.holders = copyHolders(label);
-    net_->lookup(source, ringKey(label));  // routed put to the primary
-    net_->shipPayload(source, entry.holders[0], wire.size(),
-                      bucket.recordCount());
-    for (std::size_t i = 1; i < entry.holders.size(); ++i) {
-      net_->lookup(source, ringKey(label, i));  // routed replica put
-      net_->shipPayload(source, entry.holders[i], wire.size(),
-                        bucket.recordCount());
-    }
-    entry.bucket = Bucket::deserialize(reader);
-    MLIGHT_CHECK(reader.atEnd(), "wire format left trailing bytes");
-    const RingId owner = entry.holders[0];
-    entries_.insert_or_assign(label, std::move(entry));
+    const RingId owner = ownerOf(label);
+    asyncPut(source, label, std::move(bucket));
+    net_->run();
     return owner;
   }
 
   /// Stores a bucket whose primary copy is created on the peer that
   /// already owns the key (e.g. the split child that keeps its parent's
   /// DHT key, Theorem 5) — no primary routing or shipping.  Replica
-  /// copies, if configured, still cost a put each (from the primary).
+  /// copies, if configured, still cost a put each (from the primary,
+  /// fire-and-forget).  The primary copy is stored immediately: this is
+  /// a local operation at the owner, safe to call from RPC handlers.
   void placeLocal(const Label& label, Bucket bucket) {
     Entry entry;
     entry.holders = copyHolders(label);
     for (std::size_t i = 1; i < entry.holders.size(); ++i) {
-      net_->lookup(entry.holders[0], ringKey(label, i));
+      mlight::common::Writer body;
+      body.writeBitString(label);
+      mlight::dht::RpcEnvelope env;
+      env.kind = mlight::dht::RpcKind::kPut;
+      env.from = entry.holders[0];
+      env.payload = std::move(body).take();
+      net_->sendRpc(ringKey(label, i), std::move(env),
+                    [](const mlight::dht::RpcDelivery&) {});
       net_->shipPayload(entry.holders[0], entry.holders[i],
                         bucket.byteSize(), bucket.recordCount());
     }
@@ -179,15 +270,23 @@ class DistributedStore {
   }
 
   /// Accounts the cost of propagating an in-place bucket mutation (e.g.
-  /// one appended record) to the replicas: one DHT-lookup plus the
-  /// payload per replica.  No-op when replication == 1.
+  /// one appended record) to the replicas: one routed update envelope
+  /// plus the payload per replica, fire-and-forget.  No-op when
+  /// replication == 1.
   void shipToReplicas(RingId source, const Label& label, std::size_t bytes,
                       std::size_t records) {
     if (replication_ <= 1) return;
     const auto it = entries_.find(label);
     if (it == entries_.end()) return;
     for (std::size_t i = 1; i < it->second.holders.size(); ++i) {
-      net_->lookup(source, ringKey(label, i));  // routed update message
+      mlight::common::Writer body;
+      body.writeBitString(label);
+      mlight::dht::RpcEnvelope env;
+      env.kind = mlight::dht::RpcKind::kPut;
+      env.from = source;
+      env.payload = std::move(body).take();
+      net_->sendRpc(ringKey(label, i), std::move(env),
+                    [](const mlight::dht::RpcDelivery&) {});
       net_->shipPayload(source, it->second.holders[i], bytes, records);
     }
   }
@@ -236,6 +335,30 @@ class DistributedStore {
     std::vector<RingId> holders;  // holders[0] = primary copy
     Bucket bucket;
   };
+
+  /// Shared body of asyncGet/asyncVisit: the label travels in the
+  /// envelope; the handler re-reads it from the wire and resolves the
+  /// bucket in owner-side state at delivery time.
+  void asyncAccess(mlight::dht::RpcKind kind, RingId initiator,
+                   const Label& label, std::uint32_t round, VisitFn fn) {
+    mlight::common::Writer body;
+    body.writeBitString(label);
+    mlight::dht::RpcEnvelope env;
+    env.kind = kind;
+    env.from = initiator;
+    env.round = round;
+    env.payload = std::move(body).take();
+    net_->sendRpc(ringKey(label), std::move(env),
+                  [this, fn = std::move(fn)](
+                      const mlight::dht::RpcDelivery& d) {
+                    mlight::common::Reader r(d.env.payload);
+                    const Label wireLabel = r.readBitString();
+                    auto it = entries_.find(wireLabel);
+                    Bucket* bucket =
+                        (it == entries_.end()) ? nullptr : &it->second.bucket;
+                    fn(bucket, d);
+                  });
+  }
 
   void onMembershipChange(
       const mlight::dht::Network::MembershipChange& change) {
@@ -296,6 +419,9 @@ class DistributedStore {
   std::size_t lostBuckets_ = 0;
   std::size_t repairedBuckets_ = 0;
   std::unordered_map<Label, Entry, mlight::common::BitStringHash> entries_;
+  mutable std::unordered_map<Label, std::vector<RingId>,
+                             mlight::common::BitStringHash>
+      ringKeyCache_;
 };
 
 }  // namespace mlight::store

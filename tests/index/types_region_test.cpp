@@ -1,6 +1,9 @@
-// Tests for the shared index types: WaveLatency arithmetic, CostMeter
-// algebra, and cross-scheme latency-stat sanity.
+// Tests for the shared index types: CostMeter algebra (including the
+// RPC message counter), emergent latency behavior of the event core,
+// and cross-scheme latency-stat sanity.
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "dht/network.h"
 #include "dst/dst_index.h"
@@ -15,40 +18,8 @@ namespace {
 using mlight::dht::CostMeter;
 using mlight::dht::Network;
 using mlight::dht::RingId;
-
-TEST(WaveLatency, EmptyWaveIsFree) {
-  WaveLatency wave;
-  EXPECT_DOUBLE_EQ(wave.totalMs(1.0), 0.0);
-}
-
-TEST(WaveLatency, SingleMessageHasNoSerializationPenalty) {
-  WaveLatency wave;
-  wave.add(RingId{1}, 42.0);
-  EXPECT_DOUBLE_EQ(wave.totalMs(1.0), 42.0);
-}
-
-TEST(WaveLatency, ParallelSendersDoNotSerializeEachOther) {
-  WaveLatency wave;
-  wave.add(RingId{1}, 40.0);
-  wave.add(RingId{2}, 60.0);
-  wave.add(RingId{3}, 50.0);
-  // Three distinct senders, one message each: just the slowest path.
-  EXPECT_DOUBLE_EQ(wave.totalMs(5.0), 60.0);
-}
-
-TEST(WaveLatency, BurstsSerializeAtTheSender) {
-  WaveLatency wave;
-  for (int i = 0; i < 100; ++i) wave.add(RingId{7}, 30.0);
-  // 100 messages from one peer: 99 serialization slots + the path.
-  EXPECT_DOUBLE_EQ(wave.totalMs(2.0), 30.0 + 99 * 2.0);
-}
-
-TEST(WaveLatency, MixedBurstsTakeTheWorstSender) {
-  WaveLatency wave;
-  for (int i = 0; i < 10; ++i) wave.add(RingId{1}, 20.0);
-  wave.add(RingId{2}, 90.0);
-  EXPECT_DOUBLE_EQ(wave.totalMs(1.0), 90.0 + 9 * 1.0);
-}
+using mlight::dht::RpcDelivery;
+using mlight::dht::RpcEnvelope;
 
 TEST(CostMeter, AdditionAndSubtraction) {
   CostMeter a;
@@ -56,19 +27,74 @@ TEST(CostMeter, AdditionAndSubtraction) {
   a.hops = 30;
   a.bytesMoved = 1000;
   a.recordsMoved = 5;
+  a.messages = 9;
   CostMeter b;
   b.lookups = 4;
   b.hops = 12;
   b.bytesMoved = 400;
   b.recordsMoved = 2;
+  b.messages = 3;
   CostMeter sum = a;
   sum += b;
   EXPECT_EQ(sum.lookups, 14u);
   EXPECT_EQ(sum.hops, 42u);
+  EXPECT_EQ(sum.messages, 12u);
   const CostMeter diff = sum - b;
   EXPECT_EQ(diff.lookups, a.lookups);
   EXPECT_EQ(diff.bytesMoved, a.bytesMoved);
   EXPECT_EQ(diff.recordsMoved, a.recordsMoved);
+  EXPECT_EQ(diff.messages, a.messages);
+}
+
+// The timeline analogues of the old analytic wave formula: a single
+// message costs its path, parallel senders overlap, and a burst from one
+// sender serializes at sendOverheadMs per envelope.
+
+RpcEnvelope envelopeFrom(RingId from) {
+  RpcEnvelope env;
+  env.from = from;
+  return env;
+}
+
+TEST(EmergentLatency, SingleMessageCostsItsPath) {
+  Network net(32);
+  net.beginTimeline();
+  const RingId a = net.peers().front();
+  const RingId key{0x123456789abcdef0ull};
+  const auto route = net.sendRpc(key, envelopeFrom(a), {});
+  net.run();
+  EXPECT_DOUBLE_EQ(net.now(), route.ms);
+}
+
+TEST(EmergentLatency, ParallelSendersDoNotSerializeEachOther) {
+  Network net(32);
+  net.beginTimeline();
+  // Distinct senders, one message each: completion = slowest path, no
+  // cross-sender serialization penalty.
+  double slowest = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto route = net.sendRpc(RingId{0x9999000011112222ull * (i + 1)},
+                                   envelopeFrom(net.peers()[i]), {});
+    slowest = std::max(slowest, route.ms);
+  }
+  net.run();
+  EXPECT_DOUBLE_EQ(net.now(), slowest);
+}
+
+TEST(EmergentLatency, BurstsSerializeAtTheSender) {
+  Network net(32);
+  net.beginTimeline();
+  const RingId sender = net.peers().front();
+  // A wide fan-out from one peer: the i-th envelope departs i slots
+  // late, so completion is at least (burst - 1) x overhead even though
+  // the links themselves run in parallel.
+  const std::size_t burst = 100;
+  for (std::size_t i = 0; i < burst; ++i) {
+    net.sendRpc(RingId{0x5555aaaa5555aaaaull + 0x97531ull * i},
+                envelopeFrom(sender), {});
+  }
+  net.run();
+  EXPECT_GE(net.now(), static_cast<double>(burst - 1) * net.sendOverheadMs());
 }
 
 TEST(LatencyStats, AllSchemesReportPositiveQueryLatency) {
