@@ -27,6 +27,9 @@ struct Args {
   std::size_t peers = 128;
   std::size_t queries = 20;
   bool quick = false;
+  /// Per-attempt RPC loss probability for fault-injection benches; < 0
+  /// means "use the bench's built-in sweep".
+  double loss = -1.0;
   /// Optional path to a real points file (e.g. the rtreeportal.org NE
   /// dataset); when set, benches load it instead of the synthetic NE.
   std::string dataset;
@@ -54,12 +57,18 @@ struct Args {
         args.peers = next();
       } else if (a == "--queries") {
         args.queries = next();
+      } else if (a == "--loss") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for --loss\n");
+          std::exit(2);
+        }
+        args.loss = std::strtod(argv[++i], nullptr);
       } else if (a == "--quick") {
         args.quick = true;
       } else if (a == "--help" || a == "-h") {
         std::printf(
             "usage: %s [--records N] [--peers P] [--queries Q] [--quick] "
-            "[--dataset FILE]\n",
+            "[--loss P] [--dataset FILE]\n",
             argv[0]);
         std::exit(0);
       } else {

@@ -26,6 +26,12 @@ struct CostMeter {
   /// legacy lookup() is never used), and payload piggybacks on the
   /// envelope rather than counting a message of its own.
   std::uint64_t messages = 0;
+  /// Envelope retransmissions issued by the reliable-RPC layer after a
+  /// timeout (fault injection only — always 0 with faults disabled).
+  /// Retransmissions re-route on the current ring, so each retry also
+  /// adds one lookup + hops; `messages` is *not* incremented again (it
+  /// counts logical envelopes, see docs/COST_MODEL.md "Fault model").
+  std::uint64_t retries = 0;
 
   CostMeter& operator+=(const CostMeter& other) noexcept {
     lookups += other.lookups;
@@ -33,6 +39,7 @@ struct CostMeter {
     bytesMoved += other.bytesMoved;
     recordsMoved += other.recordsMoved;
     messages += other.messages;
+    retries += other.retries;
     return *this;
   }
 
@@ -42,6 +49,7 @@ struct CostMeter {
     a.bytesMoved -= b.bytesMoved;
     a.recordsMoved -= b.recordsMoved;
     a.messages -= b.messages;
+    a.retries -= b.retries;
     return a;
   }
 };

@@ -1,13 +1,24 @@
 #include "dht/network.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/invariants.h"
 
 namespace mlight::dht {
+
+std::uint64_t faultSeedFromEnv(std::uint64_t fallback) noexcept {
+  const char* raw = std::getenv("MLIGHT_FAULT_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(value);
+}
 
 std::string toString(RingId id) {
   char buf[19];
@@ -124,7 +135,114 @@ void Network::shipPayload(RingId from, RingId to, std::size_t bytes,
   }
 }
 
-RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler) {
+void Network::deliver(const std::vector<std::uint8_t>& wire,
+                      const RouteResult& route, double departure,
+                      const RpcHandler& handler) {
+  common::Reader r(wire);
+  RpcDelivery d;
+  d.env = RpcEnvelope::deserialize(r);
+  if (!r.atEnd()) {
+    throw common::SerdeError("rpc: trailing bytes after envelope");
+  }
+  d.route = route;
+  d.sentAt = departure;
+  d.deliveredAt = sched_.now();
+  timelineMaxRound_ = std::max(timelineMaxRound_, d.env.round);
+  if (rpcTrace_) rpcTrace_(d);
+  if (handler) handler(d);
+}
+
+void Network::setFaultModel(const FaultModel& faults) {
+  faults_ = faults;
+  faultRng_ = mlight::common::Rng(faults.seed);
+}
+
+double Network::rpcTimeoutMs(std::size_t attempt,
+                             double routeMs) const noexcept {
+  const double floor =
+      2.0 * routeMs + faults_.jitterMs + faults_.timeoutBaseMs;
+  const double backoff = static_cast<double>(
+      std::uint64_t{1} << std::min<std::size_t>(attempt, 8));
+  return floor * backoff;
+}
+
+void Network::transmitWithFaults(RingId key, const RouteResult& route,
+                                 RpcEnvelope env, RpcHandler handler,
+                                 RpcFailFn onFail, std::size_t attempt) {
+  // Real wire bytes: the handler works from the deserialized copy, and a
+  // retransmission re-serializes (the envelope really crosses the wire
+  // again, with its re-routed `to`).
+  common::Writer w;
+  env.serialize(w);
+
+  double& nextFree = sendQueueFree_[env.from];
+  const double departure = std::max(sched_.now(), nextFree);
+  nextFree = departure + latency_.sendOverheadMs;
+
+  // Per-attempt fault draws, in a fixed order (loss first, then jitter
+  // only for surviving transmissions) so the fault RNG stream — and with
+  // it the whole timeline — is a pure function of the fault seed.
+  const bool lost = faultRng_.chance(faults_.lossProbability);
+
+  struct Flight {
+    bool delivered = false;
+    std::uint64_t timeoutSeq = 0;
+  };
+  auto flight = std::make_shared<Flight>();
+
+  if (!lost) {
+    const double jitter =
+        faults_.jitterMs > 0.0 ? faultRng_.uniform() * faults_.jitterMs : 0.0;
+    sched_.schedule(
+        departure + route.ms + jitter,
+        [this, wire = std::move(w).take(), route, departure, handler,
+         flight]() {
+          // Crash-while-in-flight: if the addressee's vnode left the
+          // ring after departure, nobody is there to run the handler —
+          // drop the delivery and let the timeout retry against the
+          // current ring.
+          common::Reader peekReader(wire);
+          const RpcEnvelope peeked = RpcEnvelope::deserialize(peekReader);
+          if (vnodeToPhysical_.find(peeked.to) == vnodeToPhysical_.end()) {
+            ++ghostDrops_;
+            return;
+          }
+          flight->delivered = true;
+          sched_.cancel(flight->timeoutSeq);
+          deliver(wire, route, departure, handler);
+        });
+  }
+
+  flight->timeoutSeq = sched_.schedule(
+      departure + rpcTimeoutMs(attempt, route.ms),
+      [this, key, env = std::move(env), handler = std::move(handler),
+       onFail = std::move(onFail), attempt, flight]() mutable {
+        if (flight->delivered) return;
+        if (attempt + 1 >= faults_.maxAttempts) {
+          ++deadLetters_;
+          if (deadLetterLog_.size() < 64) {
+            deadLetterLog_.push_back(DeadLetter{env.id, env.kind, env.from,
+                                                env.to, attempt + 1,
+                                                sched_.now()});
+          }
+          if (onFail) onFail(env, attempt + 1);
+          return;
+        }
+        // Retransmit: re-route on the *current* ring (the owner may have
+        // changed if the timeout was caused by a crash) — a fresh metered
+        // lookup plus one retry tick.
+        total_.retries += 1;
+        if (meter_ != nullptr) meter_->retries += 1;
+        const RouteResult retryRoute = lookup(env.from, key);
+        env.to = retryRoute.owner;
+        transmitWithFaults(key, retryRoute, std::move(env),
+                           std::move(handler), std::move(onFail),
+                           attempt + 1);
+      });
+}
+
+RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler,
+                             RpcFailFn onFail) {
   // Route + meter at issue time: the multiset of (initiator, key)
   // resolutions an operation performs is determined by index structure,
   // not delivery timing, so counts stay bit-identical to the old
@@ -135,7 +253,14 @@ RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler) {
   total_.messages += 1;
   if (meter_ != nullptr) meter_->messages += 1;
 
-  // Real wire bytes: the handler works from the deserialized copy.
+  if (faults_.enabled) {
+    transmitWithFaults(key, route, std::move(env), std::move(handler),
+                       std::move(onFail), 0);
+    return route;
+  }
+
+  // Fault-free path: exactly one delivery event, no RNG draws — the
+  // timeline is byte-identical to a network without the fault layer.
   common::Writer w;
   env.serialize(w);
 
@@ -144,22 +269,11 @@ RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler) {
   nextFree = departure + latency_.sendOverheadMs;
   const double arrival = departure + route.ms;
 
-  sched_.schedule(
-      arrival, [this, wire = std::move(w).take(), route, departure,
-                handler = std::move(handler)]() {
-        common::Reader r(wire);
-        RpcDelivery d;
-        d.env = RpcEnvelope::deserialize(r);
-        if (!r.atEnd()) {
-          throw common::SerdeError("rpc: trailing bytes after envelope");
-        }
-        d.route = route;
-        d.sentAt = departure;
-        d.deliveredAt = sched_.now();
-        timelineMaxRound_ = std::max(timelineMaxRound_, d.env.round);
-        if (rpcTrace_) rpcTrace_(d);
-        if (handler) handler(d);
-      });
+  sched_.schedule(arrival,
+                  [this, wire = std::move(w).take(), route, departure,
+                   handler = std::move(handler)]() {
+                    deliver(wire, route, departure, handler);
+                  });
   return route;
 }
 

@@ -68,6 +68,40 @@ struct LatencyModel {
   double sendOverheadMs = 1.0;
 };
 
+/// Seeded fault injection for the RPC layer.  Disabled by default; with
+/// `enabled == false` the send path is byte-for-byte the fault-free one
+/// (no RNG draws, no timeout events), so count metrics *and* the event
+/// timeline are identical to a network without the fault layer — the
+/// replay and bit-identical-metrics contracts depend on this.
+///
+/// With `enabled == true` every transmission attempt may be lost (per
+/// attempt, i.i.d. with probability `lossProbability`), every delivery
+/// gains uniform jitter in [0, jitterMs), and a crash while an envelope
+/// is in flight suppresses the delivery (no ghost handlers).  The
+/// reliable layer on top schedules a timeout per attempt and retransmits
+/// with capped exponential backoff, re-routing on the current ring;
+/// envelopes that exhaust `maxAttempts` become dead letters.
+struct FaultModel {
+  bool enabled = false;
+  /// Probability a single transmission attempt is lost in flight.
+  double lossProbability = 0.0;
+  /// Max additive delivery jitter (uniform in [0, jitterMs); 0 = none).
+  double jitterMs = 0.0;
+  /// Grace added on top of the RTT-derived timeout floor (see
+  /// Network::rpcTimeoutMs).
+  double timeoutBaseMs = 50.0;
+  /// Total transmissions per envelope, including the first.
+  std::size_t maxAttempts = 6;
+  /// Seed of the dedicated fault RNG (loss and jitter draws only, so
+  /// enabling faults never perturbs the network's auxiliary RNG).
+  std::uint64_t seed = 1;
+};
+
+/// Reads `MLIGHT_FAULT_SEED` from the environment (decimal), falling
+/// back to `fallback` when unset/empty — how CI points the whole fault
+/// matrix at one seed without touching code.
+std::uint64_t faultSeedFromEnv(std::uint64_t fallback = 1) noexcept;
+
 class Network {
  public:
   /// Builds an overlay with `peerCount` physical peers named "node:<i>",
@@ -128,13 +162,27 @@ class Network {
 
   using RpcHandler = std::function<void(const RpcDelivery&)>;
 
+  /// Invoked when an envelope exhausts its transmission attempts under
+  /// fault injection (never with faults disabled).  Receives the final
+  /// envelope (with its last routed `to`) and the attempt count.
+  using RpcFailFn = std::function<void(const RpcEnvelope&, std::size_t)>;
+
   /// Issues `env` from env.from toward the owner of `key`.  Returns the
   /// route immediately (counts are synchronous); the handler runs when
   /// the scheduler reaches the arrival time.  Departure is serialized
   /// per sender: the i-th envelope a peer issues in a burst departs
   /// i * sendOverheadMs late, so wide fan-outs are latency-bound at the
   /// sender even though links are parallel.
-  RouteResult sendRpc(RingId key, RpcEnvelope env, RpcHandler handler);
+  ///
+  /// Under fault injection the send becomes reliable-with-retries:
+  /// every attempt draws a loss/jitter outcome, a timeout event guards
+  /// each attempt, and a timed-out envelope is re-routed on the
+  /// *current* ring (fresh metered lookup + one CostMeter::retries) and
+  /// retransmitted with exponential backoff.  After FaultModel::
+  /// maxAttempts the envelope is recorded as a dead letter and `onFail`
+  /// (if any) runs instead of `handler`.
+  RouteResult sendRpc(RingId key, RpcEnvelope env, RpcHandler handler,
+                      RpcFailFn onFail = nullptr);
 
   /// Current simulated time (ms since the network was built).
   double now() const noexcept { return sched_.now(); }
@@ -157,6 +205,34 @@ class Network {
   /// Observes every delivery (replay/trace tests).  Null disables.
   using RpcTraceFn = std::function<void(const RpcDelivery&)>;
   void setRpcTrace(RpcTraceFn fn) { rpcTrace_ = std::move(fn); }
+
+  // --- Fault injection -------------------------------------------------
+
+  /// Installs (or replaces) the fault model and reseeds the fault RNG.
+  /// Call before issuing traffic; swapping models mid-flight is legal
+  /// but already-scheduled attempts keep their old outcomes.
+  void setFaultModel(const FaultModel& faults);
+  const FaultModel& faultModel() const noexcept { return faults_; }
+
+  /// An envelope that exhausted FaultModel::maxAttempts transmissions.
+  struct DeadLetter {
+    std::uint64_t rpcId = 0;
+    RpcKind kind = RpcKind::kGet;
+    RingId from;
+    RingId lastTarget;      ///< Owner of the key on the last attempt.
+    std::size_t attempts = 0;
+    double at = 0.0;        ///< Simulated time the envelope was abandoned.
+  };
+
+  std::uint64_t deadLetterCount() const noexcept { return deadLetters_; }
+  /// The first few dead letters in full (bounded; diagnostics only).
+  const std::vector<DeadLetter>& deadLetterLog() const noexcept {
+    return deadLetterLog_;
+  }
+  /// Deliveries suppressed because the addressee crashed while the
+  /// envelope was in flight (fault injection only; each such attempt is
+  /// recovered by its timeout).
+  std::uint64_t ghostDrops() const noexcept { return ghostDrops_; }
 
   /// A uniformly random live peer (deterministic via the network's RNG).
   RingId randomPeer();
@@ -229,6 +305,20 @@ class Network {
   };
   Path routePath(RingId from, RingId target) const noexcept;
 
+  /// Runs the delivered envelope through trace + handler (shared tail of
+  /// the fault-free and fault-injected delivery paths).
+  void deliver(const std::vector<std::uint8_t>& wire, const RouteResult& route,
+               double departure, const RpcHandler& handler);
+  /// One transmission attempt under fault injection (attempt 0 = the
+  /// original send); schedules the guarded delivery plus its timeout.
+  void transmitWithFaults(RingId key, const RouteResult& route,
+                          RpcEnvelope env, RpcHandler handler,
+                          RpcFailFn onFail, std::size_t attempt);
+  /// Timeout for the given attempt: twice the routed path latency plus
+  /// worst-case jitter plus timeoutBaseMs grace, doubled per attempt
+  /// (capped exponential backoff).
+  double rpcTimeoutMs(std::size_t attempt, double routeMs) const noexcept;
+
   std::vector<RingId> peers_;                       // vnodes, ring order
   std::map<RingId, std::vector<RingId>> fingers_;   // per-vnode fingers
   std::map<RingId, std::size_t> vnodeToPhysical_;   // vnode -> peer index
@@ -248,6 +338,12 @@ class Network {
   std::uint64_t nextRpcId_ = 0;
   std::uint32_t timelineMaxRound_ = 0;
   RpcTraceFn rpcTrace_;
+
+  FaultModel faults_;
+  mlight::common::Rng faultRng_{1};  // reseeded by setFaultModel
+  std::uint64_t deadLetters_ = 0;
+  std::uint64_t ghostDrops_ = 0;
+  std::vector<DeadLetter> deadLetterLog_;
 };
 
 /// RAII helper: installs a meter on construction, restores on destruction.

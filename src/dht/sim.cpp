@@ -10,13 +10,16 @@ std::uint64_t SimScheduler::schedule(double at, Fn fn) {
 }
 
 bool SimScheduler::runOne() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  clock_.advanceTo(ev.at);
-  ev.fn();
-  return true;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_.erase(ev.seq) > 0) continue;  // discarded, clock untouched
+    clock_.advanceTo(ev.at);
+    ev.fn();
+    return true;
+  }
+  return false;
 }
 
 }  // namespace mlight::dht

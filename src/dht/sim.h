@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,14 @@ class SimScheduler {
   /// Returns false when the queue is empty.
   bool runOne();
 
+  /// Cancels a still-pending event by its sequence number.  A cancelled
+  /// event is discarded when it surfaces — it neither runs nor advances
+  /// the clock, so cancelling an RPC timeout after an early delivery
+  /// leaves the timeline exactly as if the timeout never existed.
+  /// Precondition: `seq` is pending (the fault layer only cancels
+  /// timeouts it knows have not fired).
+  void cancel(std::uint64_t seq) { cancelled_.insert(seq); }
+
   /// Pumps the queue dry.  Re-entrant: a callback may itself call run()
   /// (the synchronous store facade does) — the inner call drains the
   /// queue and the outer loop simply finds it empty.
@@ -60,7 +69,9 @@ class SimScheduler {
     }
   }
 
-  std::size_t pending() const noexcept { return heap_.size(); }
+  std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
 
   /// Total events ever scheduled (timeline fingerprint for replay tests).
   std::uint64_t scheduledCount() const noexcept { return nextSeq_; }
@@ -82,6 +93,7 @@ class SimScheduler {
 
   SimClock clock_;
   std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t nextSeq_ = 0;
 };
 

@@ -118,6 +118,7 @@ std::size_t DstIndex::erase(const Point& key, std::uint64_t id) {
 
 mlight::index::PointResult DstIndex::pointQuery(const Point& key) {
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   mlight::index::PointResult out;
@@ -133,6 +134,7 @@ mlight::index::PointResult DstIndex::pointQuery(const Point& key) {
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 
@@ -170,6 +172,7 @@ mlight::index::RangeResult DstIndex::rangeQuery(const Rect& range) {
   if (clipped.empty()) return out;
 
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
@@ -211,6 +214,7 @@ mlight::index::RangeResult DstIndex::rangeQuery(const Rect& range) {
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 

@@ -30,6 +30,17 @@ struct QueryStats {
   /// Simulated wall-clock latency (Network::now() at quiescence minus
   /// the operation's beginTimeline() start).
   double latencyMs = 0.0;
+  /// Store reads during this operation that produced no answer at all —
+  /// every candidate holder timed out or had lost its copy (fault
+  /// injection / crash loss).  0 means the result is complete; > 0 means
+  /// parts of the key space could not be reached and the result may be
+  /// short.  Always 0 with faults disabled and R large enough to cover
+  /// the crash pattern.
+  std::size_t failedProbes = 0;
+
+  /// True iff no probe of this operation failed (the result is the full
+  /// answer, not a partial one).
+  bool complete() const noexcept { return failedProbes == 0; }
 };
 
 /// Range query outcome: matching records plus the cost report.

@@ -18,7 +18,8 @@ namespace mlight::core {
 MLightIndex::MLightIndex(mlight::dht::Network& net, MLightConfig config)
     : net_(&net),
       config_(std::move(config)),
-      store_(net, config_.dhtNamespace, config_.replication),
+      store_(net, config_.dhtNamespace, config_.replication,
+             config_.repair),
       rng_(config_.seed) {
   if (config_.dims < 1 || config_.dims > mlight::common::kMaxDims) {
     throw std::invalid_argument("MLightIndex: dims out of range");
@@ -68,6 +69,15 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
     const auto found = store_.routeAndFind(
         initiator, key,
         roundBase + static_cast<std::uint32_t>(result.probes));
+    if (found.failed) {
+      // No holder of this probe key answered (crash loss / exhausted
+      // retries): the search cannot distinguish NULL from unreachable,
+      // so give up rather than mis-navigate.  Callers detect the empty
+      // leaf; the store already counted the failed read.
+      result.key = Label{};
+      result.leaf = Label{};
+      return result;
+    }
     probedKeys.push_back(key);
     ++result.probes;
     result.ms += found.ms;
@@ -100,6 +110,7 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
 
 MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const std::size_t m = config_.dims;
@@ -124,11 +135,13 @@ MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
   }
   out.stats.cost = meter;
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 
 MLightIndex::LookupResult MLightIndex::lookup(const Point& key) {
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locate(randomPeer(), key);
@@ -140,6 +153,7 @@ MLightIndex::LookupResult MLightIndex::lookup(const Point& key) {
   // the accumulated routing latency.
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 
@@ -149,6 +163,14 @@ void MLightIndex::insert(const Record& record) {
   }
   const auto initiator = randomPeer();
   const Located loc = locate(initiator, record.key);
+  if (loc.leaf.empty()) {
+    // The leaf (or a probe on the way to it) was unreachable — crash
+    // loss with R too small, or every retry exhausted.  The record is
+    // not inserted; surface the failure instead of corrupting the tree.
+    ++failedInserts_;
+    net_->run();
+    return;
+  }
   // The final probe already reached the owner; the record ships with the
   // reply-put, costing payload movement but no extra DHT-lookup.
   net_->shipPayload(initiator, loc.owner, record.byteSize(), 1);
@@ -174,6 +196,7 @@ void MLightIndex::insert(const Record& record) {
 std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
   const auto initiator = randomPeer();
   const Located loc = locate(initiator, key);
+  if (loc.leaf.empty()) return 0;  // leaf unreachable (see insert)
   LeafBucket* bucket = store_.peek(loc.key);
   assert(bucket != nullptr);
   const auto before = bucket->records.size();
@@ -198,18 +221,22 @@ std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
 
 mlight::index::PointResult MLightIndex::pointQuery(const Point& key) {
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locate(randomPeer(), key);
   mlight::index::PointResult out;
-  const LeafBucket* bucket = store_.peek(loc.key);
-  assert(bucket != nullptr);
-  for (const auto& r : bucket->records) {
-    if (r.key == key) out.records.push_back(r);
+  if (!loc.leaf.empty()) {
+    const LeafBucket* bucket = store_.peek(loc.key);
+    assert(bucket != nullptr);
+    for (const auto& r : bucket->records) {
+      if (r.key == key) out.records.push_back(r);
+    }
   }
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 

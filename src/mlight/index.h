@@ -53,6 +53,10 @@ struct MLightConfig {
   /// survive peer *crashes* (ungraceful departures) — see
   /// store::DistributedStore.
   std::size_t replication = 1;
+  /// When crash repair runs: eagerly at the membership change (default)
+  /// or deferred to the first read that fails over to a surviving
+  /// replica (read-repair) — see store::RepairPolicy.
+  mlight::store::RepairPolicy repair = mlight::store::RepairPolicy::kEager;
   /// Seed for initiator-peer choices (determinism).
   std::uint64_t seed = 42;
   /// Namespace for this index's keys in the shared DHT key space.
@@ -164,6 +168,12 @@ class MLightIndex final : public mlight::index::IndexBase {
   std::size_t bucketCount() const noexcept { return store_.bucketCount(); }
   std::size_t emptyBucketCount() const;
 
+  /// Inserts abandoned because the target leaf (or a probe on the way to
+  /// it) was unreachable — crash loss with too little replication, or
+  /// every RPC retry exhausted under fault injection.  Always 0 in a
+  /// fault-free run.
+  std::size_t failedInserts() const noexcept { return failedInserts_; }
+
   /// Deepest leaf currently in the tree (edge depth; global scan — a
   /// simulator-only convenience).
   std::size_t treeDepth() const;
@@ -244,6 +254,7 @@ class MLightIndex final : public mlight::index::IndexBase {
   MLightConfig config_;
   mlight::store::DistributedStore<LeafBucket> store_;
   mlight::common::Rng rng_;
+  std::size_t failedInserts_ = 0;
   MaintenanceBreakdown breakdown_;
   std::vector<TraceEvent>* trace_ = nullptr;
   std::size_t size_ = 0;

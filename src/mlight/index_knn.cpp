@@ -47,6 +47,7 @@ MLightIndex::KnnResult MLightIndex::knnQuery(const Point& q, std::size_t k) {
   out.stats.cost += seed.stats.cost;
   out.stats.rounds += seed.stats.rounds;
   out.stats.latencyMs += seed.stats.latencyMs;
+  out.stats.failedProbes += seed.stats.failedProbes;
   const Rect leafRegion = labelRegion(seed.leaf, config_.dims);
   double radius = 1e-6;
   for (std::size_t d = 0; d < config_.dims; ++d) {
@@ -61,6 +62,7 @@ MLightIndex::KnnResult MLightIndex::knnQuery(const Point& q, std::size_t k) {
     out.stats.cost += res.stats.cost;
     out.stats.rounds += res.stats.rounds;
     out.stats.latencyMs += res.stats.latencyMs;
+    out.stats.failedProbes += res.stats.failedProbes;
     std::sort(res.records.begin(), res.records.end(),
               [&](const Record& a, const Record& b) {
                 const double da = distance(a.key);

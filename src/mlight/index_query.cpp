@@ -120,6 +120,7 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
   if (clipped.empty()) return out;
 
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
@@ -220,7 +221,10 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
         first.bucket != nullptr});
   }
 
-  if (first.bucket == nullptr) {
+  if (first.failed) {
+    // The LCA probe itself was unanswerable (every holder dark): the
+    // whole query is a failed probe; return an empty partial result.
+  } else if (first.bucket == nullptr) {
     // f_md(ω) is not an internal node, so a single leaf covers the whole
     // range; find it with a point lookup of the range's corner.  The
     // failed probe already proved the leaf is no deeper than f_md(ω);
@@ -231,9 +235,11 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
                    ? edgeDepth(omegaKey, config_.dims)
                    : std::size_t{0},
                /*roundBase=*/2);
-    const LeafBucket* bucket = store_.peek(loc.key);
-    assert(bucket != nullptr);
-    harvest(*bucket, clipped, loc.owner);
+    if (!loc.leaf.empty()) {
+      const LeafBucket* bucket = store_.peek(loc.key);
+      assert(bucket != nullptr);
+      harvest(*bucket, clipped, loc.owner);
+    }
   } else {
     const Label& leafLabel = first.bucket->label;
     harvest(*first.bucket, clipped, first.owner);
@@ -262,6 +268,7 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 

@@ -57,6 +57,13 @@ PhtIndex::Located PhtIndex::locate(mlight::dht::RingId initiator,
     const auto found = store_.routeAndFind(
         initiator, candidate,
         roundBase + static_cast<std::uint32_t>(result.probes));
+    if (found.failed) {
+      // No holder answered (fault injection / crash loss): abort the
+      // search; callers check `failed`.  The store counted the failed
+      // read.
+      result.failed = true;
+      return result;
+    }
     ++result.probes;
     result.ms += found.ms;
     if (found.bucket == nullptr) {
@@ -81,6 +88,10 @@ void PhtIndex::insert(const Record& record) {
   }
   const auto initiator = randomPeer();
   const Located loc = locate(initiator, record.key);
+  if (loc.failed) {
+    net_->run();  // leaf unreachable under faults: drop, don't corrupt
+    return;
+  }
   net_->shipPayload(initiator, loc.owner, record.byteSize(), 1);
   breakdown_.insertShipBytes += record.byteSize();
   PhtNode* leaf = store_.peek(loc.leaf);
@@ -137,6 +148,10 @@ void PhtIndex::splitLoop(Label leafLabel) {
 std::size_t PhtIndex::erase(const Point& key, std::uint64_t id) {
   const auto initiator = randomPeer();
   const Located loc = locate(initiator, key);
+  if (loc.failed) {
+    net_->run();
+    return 0;
+  }
   PhtNode* leaf = store_.peek(loc.leaf);
   assert(leaf != nullptr);
   const auto before = leaf->records.size();
@@ -194,18 +209,22 @@ void PhtIndex::mergeLoop(Label leafLabel) {
 
 mlight::index::PointResult PhtIndex::pointQuery(const Point& key) {
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locate(randomPeer(), key);
   mlight::index::PointResult out;
-  const PhtNode* leaf = store_.peek(loc.leaf);
-  assert(leaf != nullptr);
-  for (const auto& r : leaf->records) {
-    if (r.key == key) out.records.push_back(r);
+  if (!loc.failed) {
+    const PhtNode* leaf = store_.peek(loc.leaf);
+    assert(leaf != nullptr);
+    for (const auto& r : leaf->records) {
+      if (r.key == key) out.records.push_back(r);
+    }
   }
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 
@@ -219,6 +238,7 @@ mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
   if (clipped.empty()) return out;
 
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
@@ -250,14 +270,19 @@ mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
   const Label lca =
       lowestCoveringPath(clipped, config_.dims, config_.maxDepth);
   const auto first = store_.routeAndFind(initiator, lca);
-  if (first.bucket == nullptr) {
+  if (first.failed) {
+    // The LCA probe went unanswered: the whole query is one failed probe;
+    // return an empty partial result (stats record the failure below).
+  } else if (first.bucket == nullptr) {
     // The LCA prefix is below the trie: a single leaf above it covers the
     // whole range; find it by point lookup of the range corner (the
     // sequential probes continue the chain at round 2).
     const Located loc = locate(first.owner, clipped.lo(), /*roundBase=*/2);
-    const PhtNode* leaf = store_.peek(loc.leaf);
-    assert(leaf != nullptr);
-    collectInRange(*leaf, clipped, out.records);
+    if (!loc.failed) {
+      const PhtNode* leaf = store_.peek(loc.leaf);
+      assert(leaf != nullptr);
+      collectInRange(*leaf, clipped, out.records);
+    }
   } else if (first.bucket->isLeaf) {
     collectInRange(*first.bucket, clipped, out.records);
   } else {
@@ -271,6 +296,7 @@ mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 

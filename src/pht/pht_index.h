@@ -115,6 +115,9 @@ class PhtIndex final : public mlight::index::IndexBase {
     mlight::dht::RingId owner;
     std::size_t probes = 0;
     double ms = 0.0;
+    /// True when a probe went unanswered (fault injection): `leaf` is
+    /// meaningless then — the empty label legitimately names the root.
+    bool failed = false;
   };
   Located locate(mlight::dht::RingId initiator, const Point& p,
                  std::uint32_t roundBase = 1);

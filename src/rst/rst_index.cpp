@@ -116,6 +116,7 @@ std::size_t RstIndex::erase(const Point& key, std::uint64_t id) {
 
 mlight::index::PointResult RstIndex::pointQuery(const Point& key) {
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   mlight::index::PointResult out;
@@ -129,6 +130,7 @@ mlight::index::PointResult RstIndex::pointQuery(const Point& key) {
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 
@@ -161,6 +163,7 @@ mlight::index::RangeResult RstIndex::rangeQuery(const Rect& range) {
   if (clipped.empty()) return out;
 
   const double t0 = net_->beginTimeline();
+  const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const auto initiator = randomPeer();
@@ -195,6 +198,7 @@ mlight::index::RangeResult RstIndex::rangeQuery(const Rect& range) {
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;
+  out.stats.failedProbes = store_.failedReads() - failedBefore;
   return out;
 }
 

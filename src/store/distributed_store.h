@@ -11,9 +11,16 @@
 // every bucket also lives at the owners of R-1 salted keys.  Graceful
 // churn re-homes all copies; a *crash* loses exactly the copies the dead
 // peer held — a bucket survives iff some copy-holder survives, in which
-// case missing copies are re-created from a survivor (repair traffic).
+// case missing copies are re-created from a survivor (repair traffic,
+// eager by default or deferred to the first read — see RepairPolicy).
 // With R = 1 a crash loses the bucket outright; lostBuckets() reports it
-// so upper layers can detect the damage.
+// so upper layers can detect the damage, and reads of a mourned label
+// fail (failedReads()) instead of answering NULL.
+//
+// Reads fail over: when the primary never answers (RPC dead letter under
+// fault injection) or reports no copy after a crash, the request walks
+// the copy-target list to the next holder; a successful failover
+// read-repairs the bucket back to R copies on the current ring.
 //
 // Bucket requirements (checked by concept): byteSize() — serialized size
 // used for data-movement accounting; recordCount() — number of records,
@@ -23,9 +30,12 @@
 #include <algorithm>
 #include <concepts>
 #include <cstddef>
+#include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -47,18 +57,40 @@ concept StorableBucket =
       { B::deserialize(r) } -> std::same_as<B>;
     };
 
+/// When crash repair happens.  kEager (default, the classic behavior)
+/// re-replicates every degraded bucket synchronously inside the
+/// membership-change callback, so repair traffic is metered at crash
+/// time.  kOnRead defers crash repair: the membership callback only
+/// prunes the dead copies, and the first read that fails over to a
+/// surviving holder triggers read-repair for that bucket (restoring R
+/// copies on the current ring).  Joins and graceful departures always
+/// re-home eagerly — their data handoff is part of the protocol.
+enum class RepairPolicy { kEager, kOnRead };
+
 template <StorableBucket Bucket>
 class DistributedStore {
  public:
   using Label = mlight::common::BitString;
   using RingId = mlight::dht::RingId;
 
+  /// One replica placement: the peer holding the copy and the key salt
+  /// it was placed under.  Tracking the salt matters because salts that
+  /// collide on an already-chosen peer are *skipped*, so holder index
+  /// and salt index need not coincide — replica envelopes must target
+  /// the salt, not the index, to actually reach the holder.
+  struct CopyTarget {
+    RingId holder;
+    std::size_t salt = 0;
+  };
+
   /// `ns` namespaces this index's keys inside the shared DHT key space
   /// (multiple indexes can share one overlay without colliding).
   /// `replication` >= 1 is the total number of copies per bucket.
   DistributedStore(mlight::dht::Network& net, std::string ns,
-                   std::size_t replication = 1)
-      : net_(&net), ns_(std::move(ns)), replication_(replication) {
+                   std::size_t replication = 1,
+                   RepairPolicy repair = RepairPolicy::kEager)
+      : net_(&net), ns_(std::move(ns)), replication_(replication),
+        repair_(repair) {
     storeHandle_ = net_->registerStore(
         [this](const mlight::dht::Network::MembershipChange& change) {
           onMembershipChange(change);
@@ -96,24 +128,48 @@ class DistributedStore {
     return net_->responsible(ringKey(label));
   }
 
-  /// The peers holding the copies of `label` on the current ring:
-  /// holders[0] is the primary; replicas are placed at successive salted
-  /// keys, skipping peers already chosen so copies are failure-
-  /// independent (salts are probed in order, so the set is deterministic
-  /// for a given ring).
-  std::vector<RingId> copyHolders(const Label& label) const {
-    std::vector<RingId> holders{ownerOf(label)};
+  /// The copy placements of `label` on the current ring: targets[0] is
+  /// the primary (salt 0); replicas land at successive salted keys,
+  /// skipping salts whose owner was already chosen so copies are
+  /// failure-independent (salts are probed in order, so the set is
+  /// deterministic for a given ring).  This is the single
+  /// holder-resolution point — placement, replica fan-out, crash repair
+  /// and read failover all consume it, so no path can disagree about
+  /// where the copies live.
+  std::vector<CopyTarget> copyTargets(const Label& label) const {
+    std::vector<CopyTarget> targets{CopyTarget{ownerOf(label), 0}};
     std::size_t salt = 1;
     // On tiny overlays there may be fewer peers than copies; stop after
     // a bounded number of attempts rather than spinning.
     std::size_t attempts = 0;
-    while (holders.size() < replication_ && attempts < 8 * replication_) {
+    while (targets.size() < replication_ && attempts < 8 * replication_) {
       const RingId candidate = net_->responsible(ringKey(label, salt));
+      const bool taken =
+          std::find_if(targets.begin(), targets.end(),
+                       [&](const CopyTarget& t) {
+                         return t.holder == candidate;
+                       }) != targets.end();
+      if (!taken) targets.push_back(CopyTarget{candidate, salt});
       ++salt;
       ++attempts;
-      if (std::find(holders.begin(), holders.end(), candidate) ==
-          holders.end()) {
-        holders.push_back(candidate);
+    }
+    if (targets.size() < replication_) {
+      // Degraded mode: the overlay has fewer distinct peers reachable
+      // within the probe budget than the requested copies.  The bucket
+      // is stored under-replicated (crash tolerance drops accordingly);
+      // count it and warn once so small-overlay configurations are not
+      // silently fragile.
+      ++underReplicated_;
+      if (!warnedUnderReplicated_ &&
+          mlight::common::auditEnabled(
+              mlight::common::AuditLevel::kBoundaries)) {
+        warnedUnderReplicated_ = true;
+        std::fprintf(stderr,
+                     "mlight: WARNING: store '%s' placed only %zu of %zu "
+                     "copies (probe budget %zu exhausted) — overlay too "
+                     "small for the replication factor\n",
+                     ns_.c_str(), targets.size(), replication_,
+                     8 * replication_);
       }
     }
     if (mlight::common::auditEnabled(
@@ -121,10 +177,20 @@ class DistributedStore {
       // Copies must land on pairwise-distinct peers (failure
       // independence) and never exceed the replication factor.
       std::vector<std::uint64_t> positions;
-      positions.reserve(holders.size());
-      for (const RingId id : holders) positions.push_back(id.value);
+      positions.reserve(targets.size());
+      for (const CopyTarget& t : targets) positions.push_back(t.holder.value);
       mlight::common::auditReplicaHolders(positions, replication_);
     }
+    return targets;
+  }
+
+  /// The peers holding the copies of `label` (holders[0] = primary) —
+  /// the holder projection of copyTargets().
+  std::vector<RingId> copyHolders(const Label& label) const {
+    const std::vector<CopyTarget> targets = copyTargets(label);
+    std::vector<RingId> holders;
+    holders.reserve(targets.size());
+    for (const CopyTarget& t : targets) holders.push_back(t.holder);
     return holders;
   }
 
@@ -133,6 +199,11 @@ class DistributedStore {
     std::size_t hops;
     double ms;       ///< simulated routing latency of this lookup
     Bucket* bucket;  ///< nullptr when no bucket is stored under the key.
+    /// True when the read produced no answer at all — every candidate
+    /// holder timed out or reported no copy (fault injection / crash
+    /// loss).  Distinct from an authoritative NULL (`bucket == nullptr`
+    /// with `failed == false`), which means the key is known empty.
+    bool failed = false;
   };
 
   // --- Async RPC API ---------------------------------------------------
@@ -184,7 +255,7 @@ class DistributedStore {
     bucket.serialize(bucketWire);
     MLIGHT_CHECK(bucketWire.size() == bucket.byteSize(),
                  "byteSize() disagrees with the wire format");
-    const std::vector<RingId> holders = copyHolders(label);
+    const std::vector<CopyTarget> targets = copyTargets(label);
 
     mlight::common::Writer body;
     body.writeBitString(label);
@@ -198,23 +269,28 @@ class DistributedStore {
 
     net_->sendRpc(
         ringKey(label), env,
-        [this, holders](const mlight::dht::RpcDelivery& d) {
+        [this](const mlight::dht::RpcDelivery& d) {
           mlight::common::Reader r(d.env.payload);
           const Label wireLabel = r.readBitString();
           const std::vector<std::uint8_t> bucketBytes = r.readBytes();
           mlight::common::Reader br(bucketBytes);
           Entry entry;
-          entry.holders = holders;
+          // Resolve the holders on the ring as it is *now*: churn between
+          // issue and delivery would otherwise record peers that no
+          // longer own the salted keys, sending later replica updates to
+          // the wrong peers.
+          entry.copies = copyTargets(wireLabel);
           entry.bucket = Bucket::deserialize(br);
           MLIGHT_CHECK(br.atEnd(), "wire format left trailing bytes");
+          mourned_.erase(wireLabel);
           entries_.insert_or_assign(wireLabel, std::move(entry));
         });
-    net_->shipPayload(source, holders[0], bucketWire.size(),
+    net_->shipPayload(source, targets[0].holder, bucketWire.size(),
                       bucket.recordCount());
-    for (std::size_t i = 1; i < holders.size(); ++i) {
-      net_->sendRpc(ringKey(label, i), env,
+    for (std::size_t i = 1; i < targets.size(); ++i) {
+      net_->sendRpc(ringKey(label, targets[i].salt), env,
                     [](const mlight::dht::RpcDelivery&) {});
-      net_->shipPayload(source, holders[i], bucketWire.size(),
+      net_->shipPayload(source, targets[i].holder, bucketWire.size(),
                         bucket.recordCount());
     }
   }
@@ -226,6 +302,7 @@ class DistributedStore {
   Found routeAndFind(RingId initiator, const Label& label,
                      std::uint32_t round = 1) {
     Found out{};
+    out.failed = true;  // cleared iff some holder actually answers
     asyncGet(initiator, label, round,
              [&out](Bucket* bucket, const mlight::dht::RpcDelivery& d) {
                out = Found{d.route.owner, d.route.hops, d.route.ms, bucket};
@@ -252,20 +329,21 @@ class DistributedStore {
   /// a local operation at the owner, safe to call from RPC handlers.
   void placeLocal(const Label& label, Bucket bucket) {
     Entry entry;
-    entry.holders = copyHolders(label);
-    for (std::size_t i = 1; i < entry.holders.size(); ++i) {
+    entry.copies = copyTargets(label);
+    for (std::size_t i = 1; i < entry.copies.size(); ++i) {
       mlight::common::Writer body;
       body.writeBitString(label);
       mlight::dht::RpcEnvelope env;
       env.kind = mlight::dht::RpcKind::kPut;
-      env.from = entry.holders[0];
+      env.from = entry.copies[0].holder;
       env.payload = std::move(body).take();
-      net_->sendRpc(ringKey(label, i), std::move(env),
+      net_->sendRpc(ringKey(label, entry.copies[i].salt), std::move(env),
                     [](const mlight::dht::RpcDelivery&) {});
-      net_->shipPayload(entry.holders[0], entry.holders[i],
+      net_->shipPayload(entry.copies[0].holder, entry.copies[i].holder,
                         bucket.byteSize(), bucket.recordCount());
     }
     entry.bucket = std::move(bucket);
+    mourned_.erase(label);
     entries_.insert_or_assign(label, std::move(entry));
   }
 
@@ -278,16 +356,21 @@ class DistributedStore {
     if (replication_ <= 1) return;
     const auto it = entries_.find(label);
     if (it == entries_.end()) return;
-    for (std::size_t i = 1; i < it->second.holders.size(); ++i) {
+    // Resolve the replica set on the *current* ring (a cached holder
+    // list can be stale across churn); any holder found missing gets
+    // the full bucket first, then everyone receives the delta.
+    ensureReplicated(label, it->second, source);
+    const std::vector<CopyTarget>& copies = it->second.copies;
+    for (std::size_t i = 1; i < copies.size(); ++i) {
       mlight::common::Writer body;
       body.writeBitString(label);
       mlight::dht::RpcEnvelope env;
       env.kind = mlight::dht::RpcKind::kPut;
       env.from = source;
       env.payload = std::move(body).take();
-      net_->sendRpc(ringKey(label, i), std::move(env),
+      net_->sendRpc(ringKey(label, copies[i].salt), std::move(env),
                     [](const mlight::dht::RpcDelivery&) {});
-      net_->shipPayload(source, it->second.holders[i], bytes, records);
+      net_->shipPayload(source, copies[i].holder, bytes, records);
     }
   }
 
@@ -309,13 +392,46 @@ class DistributedStore {
   /// Buckets irrecoverably lost to crashes (all copy-holders died).
   std::size_t lostBuckets() const noexcept { return lostBuckets_; }
 
-  /// Buckets whose copies were re-created from a survivor after a crash.
+  /// Buckets whose copies were re-created from a survivor after a crash
+  /// (eager repair, metered inside the membership callback).
   std::size_t repairedBuckets() const noexcept { return repairedBuckets_; }
+
+  /// Reads that produced no answer at all: every candidate holder either
+  /// timed out (dead letter) or reported no copy, or the bucket was
+  /// mourned (all copies crashed).  The continuation is *not* invoked
+  /// for these — indexes surface the per-operation delta as
+  /// QueryStats::failedProbes.
+  std::size_t failedReads() const noexcept { return failedReads_; }
+
+  /// Reads answered by a non-primary holder after the primary timed out
+  /// or reported no copy.
+  std::size_t failoverReads() const noexcept { return failoverReads_; }
+
+  /// Successful failovers that re-replicated the bucket back to R copies
+  /// (read-repair).
+  std::size_t readRepairs() const noexcept { return readRepairs_; }
+
+  /// placements that came up short of `replication` copies because the
+  /// probe budget ran out (degraded mode — see copyTargets()).
+  std::size_t underReplicatedPlacements() const noexcept {
+    return underReplicated_;
+  }
+
+  /// Current holder set recorded for `label` (empty if absent) — test
+  /// and audit accessor.
+  std::vector<RingId> holdersOf(const Label& label) const {
+    std::vector<RingId> out;
+    const auto it = entries_.find(label);
+    if (it == entries_.end()) return out;
+    out.reserve(it->second.copies.size());
+    for (const CopyTarget& t : it->second.copies) out.push_back(t.holder);
+    return out;
+  }
 
   template <typename Fn>
   void forEach(Fn&& fn) const {
     for (const auto& [label, entry] : entries_) {
-      fn(label, entry.bucket, entry.holders[0]);
+      fn(label, entry.bucket, entry.copies[0].holder);
     }
   }
 
@@ -325,39 +441,140 @@ class DistributedStore {
   std::map<RingId, std::size_t> perPeerRecords() const {
     std::map<RingId, std::size_t> load;
     for (const auto& [label, entry] : entries_) {
-      load[entry.holders[0]] += entry.bucket.recordCount();
+      load[entry.copies[0].holder] += entry.bucket.recordCount();
     }
     return load;
   }
 
  private:
   struct Entry {
-    std::vector<RingId> holders;  // holders[0] = primary copy
+    std::vector<CopyTarget> copies;  // copies[0] = primary placement
     Bucket bucket;
+  };
+
+  static bool holdsCopy(const Entry& entry, RingId vnode) {
+    return std::find_if(entry.copies.begin(), entry.copies.end(),
+                        [&](const CopyTarget& t) {
+                          return t.holder == vnode;
+                        }) != entry.copies.end();
+  }
+
+  /// The shared repair/refresh primitive: recomputes the copy set on the
+  /// current ring, ships the full bucket (from `source`) to every wanted
+  /// holder that lacks a copy, and installs the fresh set on the entry.
+  /// Returns true when at least one copy had to be shipped.
+  bool ensureReplicated(const Label& label, Entry& entry, RingId source) {
+    std::vector<CopyTarget> want = copyTargets(label);
+    bool shipped = false;
+    for (const CopyTarget& t : want) {
+      if (!holdsCopy(entry, t.holder)) {
+        net_->shipPayload(source, t.holder, entry.bucket.byteSize(),
+                          entry.bucket.recordCount());
+        shipped = true;
+      }
+    }
+    entry.copies = std::move(want);
+    return shipped;
+  }
+
+  /// Failover bookkeeping shared by the attempts of one logical read:
+  /// which holders already missed (or went dark), and the copy-target
+  /// list (resolved lazily — the fault-free fast path never computes
+  /// it).
+  struct AccessState {
+    mlight::dht::RpcKind kind;
+    Label label;
+    VisitFn fn;
+    std::vector<RingId> tried;
+    std::vector<CopyTarget> targets;
+    bool failedOver = false;
   };
 
   /// Shared body of asyncGet/asyncVisit: the label travels in the
   /// envelope; the handler re-reads it from the wire and resolves the
   /// bucket in owner-side state at delivery time.
+  ///
+  /// Failover: a read is answered by the owner of the primary key when
+  /// it holds a copy.  If that owner reports no copy after a crash
+  /// (repair not yet caught up) or never answers (timeout dead letter
+  /// under fault injection), the request is re-issued — one round
+  /// deeper — to the next holder from the copy-target walk, until some
+  /// holder answers or every candidate was tried (a failed read; the
+  /// continuation never runs).  A successful failover read-repairs the
+  /// bucket back to R copies on the current ring.
   void asyncAccess(mlight::dht::RpcKind kind, RingId initiator,
                    const Label& label, std::uint32_t round, VisitFn fn) {
+    auto state = std::make_shared<AccessState>();
+    state->kind = kind;
+    state->label = label;
+    state->fn = std::move(fn);
+    issueAccess(std::move(state), initiator, round, /*salt=*/0);
+  }
+
+  void issueAccess(std::shared_ptr<AccessState> state, RingId initiator,
+                   std::uint32_t round, std::size_t salt) {
     mlight::common::Writer body;
-    body.writeBitString(label);
+    body.writeBitString(state->label);
     mlight::dht::RpcEnvelope env;
-    env.kind = kind;
+    env.kind = state->kind;
     env.from = initiator;
     env.round = round;
     env.payload = std::move(body).take();
-    net_->sendRpc(ringKey(label), std::move(env),
-                  [this, fn = std::move(fn)](
-                      const mlight::dht::RpcDelivery& d) {
-                    mlight::common::Reader r(d.env.payload);
-                    const Label wireLabel = r.readBitString();
-                    auto it = entries_.find(wireLabel);
-                    Bucket* bucket =
-                        (it == entries_.end()) ? nullptr : &it->second.bucket;
-                    fn(bucket, d);
-                  });
+    net_->sendRpc(
+        ringKey(state->label, salt), std::move(env),
+        [this, state](const mlight::dht::RpcDelivery& d) {
+          mlight::common::Reader r(d.env.payload);
+          const Label wireLabel = r.readBitString();
+          auto it = entries_.find(wireLabel);
+          if (it == entries_.end()) {
+            if (mourned_.find(wireLabel) != mourned_.end()) {
+              // Every copy died with its holders: nobody can answer.
+              ++failedReads_;
+              return;
+            }
+            // Authoritative NULL: the key was never stored.
+            state->fn(nullptr, d);
+            return;
+          }
+          Entry& entry = it->second;
+          if (!holdsCopy(entry, d.route.owner)) {
+            // The owner of this salted key holds no copy (a crash moved
+            // ownership before repair caught up): fail over to the next
+            // holder, forwarding from this peer one round deeper.
+            state->tried.push_back(d.route.owner);
+            failoverNext(state, d.route.owner, d.env.round + 1);
+            return;
+          }
+          if (state->failedOver) {
+            ++failoverReads_;
+            if (ensureReplicated(wireLabel, entry, d.route.owner)) {
+              ++readRepairs_;
+            }
+          }
+          state->fn(&entry.bucket, d);
+        },
+        [this, state](const mlight::dht::RpcEnvelope& deadEnv,
+                      std::size_t /*attempts*/) {
+          // The target never answered despite retries (dead letter):
+          // treat it as unreachable and fail over from the initiator.
+          state->tried.push_back(deadEnv.to);
+          failoverNext(state, deadEnv.from, deadEnv.round + 1);
+        });
+  }
+
+  void failoverNext(const std::shared_ptr<AccessState>& state, RingId from,
+                    std::uint32_t round) {
+    state->failedOver = true;
+    if (state->targets.empty()) state->targets = copyTargets(state->label);
+    for (const CopyTarget& t : state->targets) {
+      if (std::find(state->tried.begin(), state->tried.end(), t.holder) !=
+          state->tried.end()) {
+        continue;
+      }
+      issueAccess(state, from, round, t.salt);
+      return;
+    }
+    ++failedReads_;  // every candidate holder missed or went dark
   }
 
   void onMembershipChange(
@@ -371,16 +588,16 @@ class DistributedStore {
 
     std::vector<Label> lost;
     for (auto& [label, entry] : entries_) {
-      RingId source = entry.holders[0];
+      RingId source = entry.copies[0].holder;
       if (change.kind == Kind::kCrash) {
         // A crash destroys the copies the dead peer held; the bucket
         // survives iff some holder is still alive and becomes the
         // repair source.
         bool survived = false;
-        for (const RingId holder : entry.holders) {
-          if (!isDead(holder)) {
+        for (const CopyTarget& copy : entry.copies) {
+          if (!isDead(copy.holder)) {
             survived = true;
-            source = holder;
+            source = copy.holder;
             break;
           }
         }
@@ -388,25 +605,33 @@ class DistributedStore {
           lost.push_back(label);
           continue;
         }
-        if (isDead(entry.holders[0])) ++repairedBuckets_;
+        if (repair_ == RepairPolicy::kOnRead) {
+          // Deferred repair: drop the dead copies and leave the bucket
+          // degraded — the first read that misses at the new owner
+          // fails over to a survivor and read-repairs it.
+          std::erase_if(entry.copies, [&](const CopyTarget& copy) {
+            return isDead(copy.holder);
+          });
+          continue;
+        }
+        if (isDead(entry.copies[0].holder)) ++repairedBuckets_;
       }
       // Bring every copy to the peers now responsible on the new ring,
       // shipping from the (surviving) source.
-      const std::vector<RingId> want = copyHolders(label);
-      for (const RingId holder : want) {
-        const bool alreadyHeld =
-            std::find(entry.holders.begin(), entry.holders.end(),
-                      holder) != entry.holders.end() &&
-            !isDead(holder);
+      const std::vector<CopyTarget> want = copyTargets(label);
+      for (const CopyTarget& t : want) {
+        const bool alreadyHeld = holdsCopy(entry, t.holder) &&
+                                 !isDead(t.holder);
         if (!alreadyHeld) {
-          net_->shipPayload(source, holder, entry.bucket.byteSize(),
+          net_->shipPayload(source, t.holder, entry.bucket.byteSize(),
                             entry.bucket.recordCount());
         }
       }
-      entry.holders = want;
+      entry.copies = want;
     }
     for (const Label& label : lost) {
       entries_.erase(label);
+      mourned_.insert(label);
       ++lostBuckets_;
     }
   }
@@ -414,11 +639,21 @@ class DistributedStore {
   mlight::dht::Network* net_;
   std::string ns_;
   std::size_t replication_ = 1;
+  RepairPolicy repair_ = RepairPolicy::kEager;
 
   std::uint64_t storeHandle_ = 0;
   std::size_t lostBuckets_ = 0;
   std::size_t repairedBuckets_ = 0;
+  std::size_t failedReads_ = 0;
+  std::size_t failoverReads_ = 0;
+  std::size_t readRepairs_ = 0;
+  mutable std::size_t underReplicated_ = 0;
+  mutable bool warnedUnderReplicated_ = false;
   std::unordered_map<Label, Entry, mlight::common::BitStringHash> entries_;
+  /// Labels whose every copy died in a crash: reads of these fail
+  /// (counted) instead of answering an authoritative NULL.  A later
+  /// re-place of the label clears the mourning.
+  std::unordered_set<Label, mlight::common::BitStringHash> mourned_;
   mutable std::unordered_map<Label, std::vector<RingId>,
                              mlight::common::BitStringHash>
       ringKeyCache_;

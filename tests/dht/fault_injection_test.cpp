@@ -1,0 +1,324 @@
+// Fault-injection layer: seeded loss/jitter, RPC timeout/retry with
+// dead letters, crash-while-in-flight ghost suppression, and the
+// DistributedStore's replica failover + read-repair on top of it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/serde.h"
+#include "dht/network.h"
+#include "dht/rpc.h"
+#include "dht/sim.h"
+#include "store/distributed_store.h"
+
+namespace mlight::dht {
+namespace {
+
+using mlight::common::BitString;
+
+TEST(SimScheduler, CancelDiscardsWithoutAdvancingClock) {
+  SimScheduler sched;
+  bool ran = false;
+  const std::uint64_t seq = sched.schedule(100.0, [&] { ran = true; });
+  sched.schedule(5.0, [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(seq);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_FALSE(ran);
+  // The cancelled event's timestamp must not pull the clock forward.
+  EXPECT_DOUBLE_EQ(sched.now(), 5.0);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(FaultSeed, ReadsEnvironmentWithFallback) {
+  ::unsetenv("MLIGHT_FAULT_SEED");
+  EXPECT_EQ(faultSeedFromEnv(77), 77u);
+  ::setenv("MLIGHT_FAULT_SEED", "123456789", 1);
+  EXPECT_EQ(faultSeedFromEnv(77), 123456789u);
+  ::unsetenv("MLIGHT_FAULT_SEED");
+}
+
+RpcEnvelope makeEnv(RingId from, std::uint32_t round = 1) {
+  RpcEnvelope env;
+  env.kind = RpcKind::kGet;
+  env.from = from;
+  env.round = round;
+  env.payload = {1, 2, 3};
+  return env;
+}
+
+TEST(FaultInjection, DisabledModelAddsNothing) {
+  Network net(16);
+  int delivered = 0;
+  const RingId key = keyId("faults/none");
+  net.sendRpc(key, makeEnv(net.peers()[0]),
+              [&](const RpcDelivery&) { ++delivered; });
+  net.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.deadLetterCount(), 0u);
+  EXPECT_EQ(net.ghostDrops(), 0u);
+  EXPECT_EQ(net.totalCost().retries, 0u);
+}
+
+TEST(FaultInjection, LossyLinkRetriesUntilDelivered) {
+  Network net(16);
+  FaultModel faults;
+  faults.enabled = true;
+  faults.lossProbability = 0.5;
+  faults.maxAttempts = 32;  // enough that (1/2)^32 losses are impossible
+  faults.seed = 9;
+  net.setFaultModel(faults);
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    const RingId key = keyId("faults/lossy-" + std::to_string(i));
+    net.sendRpc(key, makeEnv(net.peers()[i % 16]),
+                [&](const RpcDelivery&) { ++delivered; });
+  }
+  net.run();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(net.deadLetterCount(), 0u);
+  // With p = 0.5 over 50 sends, retries are statistically certain.
+  EXPECT_GT(net.totalCost().retries, 0u);
+}
+
+TEST(FaultInjection, TotalLossBecomesDeadLetter) {
+  Network net(16);
+  FaultModel faults;
+  faults.enabled = true;
+  faults.lossProbability = 1.0;
+  faults.maxAttempts = 4;
+  net.setFaultModel(faults);
+  int delivered = 0;
+  int failed = 0;
+  std::size_t reportedAttempts = 0;
+  const RingId key = keyId("faults/blackhole");
+  net.sendRpc(
+      key, makeEnv(net.peers()[0]),
+      [&](const RpcDelivery&) { ++delivered; },
+      [&](const RpcEnvelope&, std::size_t attempts) {
+        ++failed;
+        reportedAttempts = attempts;
+      });
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(reportedAttempts, 4u);
+  EXPECT_EQ(net.deadLetterCount(), 1u);
+  ASSERT_EQ(net.deadLetterLog().size(), 1u);
+  EXPECT_EQ(net.deadLetterLog()[0].attempts, 4u);
+  // 4 attempts = the original send + 3 retries.
+  EXPECT_EQ(net.totalCost().retries, 3u);
+}
+
+TEST(FaultInjection, CrashInFlightSuppressesGhostDelivery) {
+  Network net(16);
+  FaultModel faults;
+  faults.enabled = true;  // loss = 0: only the crash threatens delivery
+  net.setFaultModel(faults);
+  const RingId key = keyId("faults/crash-target");
+  const RingId victim = net.responsible(key);
+  RingId initiator{};
+  for (const RingId p : net.peers()) {
+    if (p != victim) {
+      initiator = p;
+      break;
+    }
+  }
+  std::vector<RingId> deliveredAt;
+  net.sendRpc(key, makeEnv(initiator), [&](const RpcDelivery& d) {
+    deliveredAt.push_back(d.route.owner);
+  });
+  // The envelope is in flight; its addressee dies before the event fires.
+  ASSERT_TRUE(net.crashPeer(victim));
+  net.run();
+  // No ghost: the original delivery was suppressed, the timeout re-routed
+  // to the key's new owner, and the handler ran exactly once — there.
+  EXPECT_GT(net.ghostDrops(), 0u);
+  ASSERT_EQ(deliveredAt.size(), 1u);
+  EXPECT_EQ(deliveredAt[0], net.responsible(key));
+  EXPECT_NE(deliveredAt[0], victim);
+  EXPECT_EQ(net.deadLetterCount(), 0u);
+}
+
+TEST(FaultInjection, SameSeedSameOutcomeDifferentSeedLikelyDiffers) {
+  const auto runOnce = [](std::uint64_t seed) {
+    Network net(16);
+    FaultModel faults;
+    faults.enabled = true;
+    faults.lossProbability = 0.3;
+    faults.jitterMs = 20.0;
+    faults.maxAttempts = 16;
+    faults.seed = seed;
+    net.setFaultModel(faults);
+    for (int i = 0; i < 40; ++i) {
+      net.sendRpc(keyId("faults/det-" + std::to_string(i)),
+                  makeEnv(net.peers()[i % 16]), [](const RpcDelivery&) {});
+    }
+    net.run();
+    return std::pair<std::uint64_t, double>{net.totalCost().retries,
+                                            net.now()};
+  };
+  const auto a = runOnce(5);
+  const auto b = runOnce(5);
+  const auto c = runOnce(6);
+  EXPECT_EQ(a, b);   // same seed: byte-exact timeline
+  EXPECT_NE(a, c);   // different seed: different loss/jitter draws
+}
+
+// --- Store-level failover ------------------------------------------------
+
+struct FakeBucket {
+  int value = 0;
+  std::size_t byteSize() const noexcept { return 8; }
+  std::size_t recordCount() const noexcept { return 1; }
+  void serialize(mlight::common::Writer& w) const {
+    w.writeU32(static_cast<std::uint32_t>(value));
+    w.writeU32(0);
+  }
+  static FakeBucket deserialize(mlight::common::Reader& r) {
+    FakeBucket b;
+    b.value = static_cast<int>(r.readU32());
+    r.readU32();
+    return b;
+  }
+};
+
+BitString label(int i) {
+  std::string s;
+  for (int b = 0; b < 12; ++b) s.push_back((i >> b) % 2 ? '1' : '0');
+  return BitString::fromString(s);
+}
+
+TEST(Failover, ReadRepairAfterCrashUnderOnReadPolicy) {
+  Network net(24);
+  store::DistributedStore<FakeBucket> store(net, "f/", 2,
+                                            store::RepairPolicy::kOnRead);
+  for (int i = 0; i < 64; ++i) store.placeLocal(label(i), FakeBucket{i});
+  const BitString target = label(3);
+  const RingId primary = store.ownerOf(target);
+  ASSERT_TRUE(net.crashPeer(primary));
+  ASSERT_EQ(store.lostBuckets(), 0u);  // the replica survived
+  // Deferred repair: the bucket is degraded until something reads it.
+  EXPECT_LT(store.holdersOf(target).size(), 2u);
+
+  RingId reader{};
+  for (const RingId p : net.peers()) {
+    if (p != store.ownerOf(target)) {
+      reader = p;
+      break;
+    }
+  }
+  const auto found = store.routeAndFind(reader, target);
+  ASSERT_NE(found.bucket, nullptr);
+  EXPECT_FALSE(found.failed);
+  EXPECT_EQ(found.bucket->value, 3);
+  EXPECT_GT(store.failoverReads(), 0u);
+  EXPECT_GT(store.readRepairs(), 0u);
+  // Read-repair restored R copies, on the peers the current ring names.
+  EXPECT_EQ(store.holdersOf(target).size(), 2u);
+  const auto current = store.copyHolders(target);
+  EXPECT_EQ(store.holdersOf(target), current);
+}
+
+TEST(Failover, TotalLossReadFailsInsteadOfAnsweringNull) {
+  Network net(16);
+  store::DistributedStore<FakeBucket> store(net, "f/", 1);
+  store.placeLocal(label(1), FakeBucket{1});
+  ASSERT_TRUE(net.crashPeer(store.ownerOf(label(1))));
+  ASSERT_EQ(store.lostBuckets(), 1u);
+  bool invoked = false;
+  store.asyncGet(net.peers()[0], label(1), 1,
+                 [&](FakeBucket*, const RpcDelivery&) { invoked = true; });
+  net.run();
+  EXPECT_FALSE(invoked);  // a mourned label must not masquerade as NULL
+  EXPECT_EQ(store.failedReads(), 1u);
+  const auto found = store.routeAndFind(net.peers()[0], label(1));
+  EXPECT_TRUE(found.failed);
+  EXPECT_EQ(found.bucket, nullptr);
+  EXPECT_EQ(store.failedReads(), 2u);
+}
+
+TEST(Failover, NeverStoredLabelIsAuthoritativeNull) {
+  Network net(16);
+  store::DistributedStore<FakeBucket> store(net, "f/", 2);
+  const auto found = store.routeAndFind(net.peers()[0], label(9));
+  EXPECT_FALSE(found.failed);
+  EXPECT_EQ(found.bucket, nullptr);
+  EXPECT_EQ(store.failedReads(), 0u);
+}
+
+TEST(Failover, DeadLetterFailsOverToSurvivingReplica) {
+  Network net(24);
+  store::DistributedStore<FakeBucket> store(net, "f/", 2);
+  store.placeLocal(label(5), FakeBucket{5});
+  const auto holders = store.copyHolders(label(5));
+  ASSERT_EQ(holders.size(), 2u);
+  // Every attempt is lost: the primary read dead-letters, and the store
+  // walks to the replica holder — whose read also dead-letters, so the
+  // read fails only after *both* candidates were tried.
+  FaultModel faults;
+  faults.enabled = true;
+  faults.lossProbability = 1.0;
+  faults.maxAttempts = 2;
+  net.setFaultModel(faults);
+  bool invoked = false;
+  store.asyncGet(holders[0], label(5), 1,
+                 [&](FakeBucket*, const RpcDelivery&) { invoked = true; });
+  net.run();
+  EXPECT_FALSE(invoked);
+  EXPECT_EQ(store.failedReads(), 1u);
+  EXPECT_EQ(net.deadLetterCount(), 2u);  // one per candidate holder
+
+  // With loss off again the same read succeeds (data never moved).
+  faults.lossProbability = 0.0;
+  net.setFaultModel(faults);
+  const auto found = store.routeAndFind(holders[0], label(5));
+  ASSERT_NE(found.bucket, nullptr);
+  EXPECT_EQ(found.bucket->value, 5);
+}
+
+TEST(Failover, AsyncPutResolvesHoldersAtDeliveryTime) {
+  Network net(8);
+  store::DistributedStore<FakeBucket> store(net, "f/", 1);
+  // Issue puts for many labels but do NOT pump the loop: the envelopes
+  // are in flight while the ring changes under them.
+  for (int i = 0; i < 64; ++i) {
+    store.asyncPut(net.peers()[0], label(i), FakeBucket{i});
+  }
+  std::vector<RingId> preJoinOwners;
+  for (int i = 0; i < 64; ++i) preJoinOwners.push_back(store.ownerOf(label(i)));
+  net.addPeer("late-joiner");
+  net.run();
+  // The join moved some key's ownership while the puts were in flight...
+  bool anyMoved = false;
+  for (int i = 0; i < 64; ++i) {
+    if (store.ownerOf(label(i)) != preJoinOwners[i]) anyMoved = true;
+  }
+  ASSERT_TRUE(anyMoved);
+  // ...and every delivered entry recorded the post-join holder, not the
+  // stale issue-time capture.
+  for (int i = 0; i < 64; ++i) {
+    const auto holders = store.holdersOf(label(i));
+    ASSERT_EQ(holders.size(), 1u);
+    EXPECT_EQ(holders[0], store.ownerOf(label(i)));
+  }
+}
+
+TEST(Failover, UnderReplicationIsCountedNotSilent) {
+  Network net(2);
+  store::DistributedStore<FakeBucket> store(net, "f/", 5);
+  store.placeLocal(label(1), FakeBucket{1});
+  EXPECT_GT(store.underReplicatedPlacements(), 0u);
+  // The copies that *could* be placed are still distinct peers.
+  const auto holders = store.holdersOf(label(1));
+  EXPECT_GE(holders.size(), 1u);
+  EXPECT_LE(holders.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mlight::dht

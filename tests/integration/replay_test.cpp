@@ -47,8 +47,21 @@ struct RunResult {
   double finalNow = 0.0;
 };
 
-RunResult runWorkload(std::uint64_t seed) {
+RunResult runWorkload(std::uint64_t seed, bool withFaults = false,
+                      std::uint64_t faultSeed = 1,
+                      bool installDisabledModel = false) {
   Network net(48, seed);
+  if (withFaults) {
+    dht::FaultModel faults;
+    faults.enabled = true;
+    faults.lossProbability = 0.01;
+    faults.jitterMs = 5.0;
+    faults.maxAttempts = 8;
+    faults.seed = faultSeed;
+    net.setFaultModel(faults);
+  } else if (installDisabledModel) {
+    net.setFaultModel(dht::FaultModel{});  // enabled == false
+  }
   RunResult out;
   net.setRpcTrace([&](const RpcDelivery& d) {
     out.trace.push_back({d.env.id, static_cast<std::uint8_t>(d.env.kind),
@@ -59,6 +72,7 @@ RunResult runWorkload(std::uint64_t seed) {
   core::MLightConfig config;
   config.thetaSplit = 16;
   config.thetaMerge = 8;
+  if (withFaults) config.replication = 2;  // retries may still dead-letter
   core::MLightIndex index(net, config);
 
   const auto data = workload::uniformDataset(600, 2, seed + 1);
@@ -119,6 +133,48 @@ TEST(Replay, DifferentSeedsDiverge) {
   const RunResult a = runWorkload(2009);
   const RunResult c = runWorkload(1972);
   EXPECT_NE(a.trace, c.trace);
+}
+
+TEST(Replay, FaultInjectedRunIsByteExactUnderTheSameSeeds) {
+  // The fault layer draws loss and jitter from its own seeded RNG in a
+  // fixed order, so a faulty workload is still a pure function of
+  // (network seed, fault seed): retransmissions, failovers, and jittered
+  // delivery times replay byte-exactly.  The fault seed comes from
+  // MLIGHT_FAULT_SEED when set (the CI fault matrix pins it).
+  const std::uint64_t faultSeed = dht::faultSeedFromEnv(1234);
+  const RunResult a = runWorkload(2009, /*withFaults=*/true, faultSeed);
+  const RunResult b = runWorkload(2009, /*withFaults=*/true, faultSeed);
+
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.queryRounds, b.queryRounds);
+  EXPECT_EQ(a.queryLatency, b.queryLatency);
+  EXPECT_EQ(a.queryAnswers, b.queryAnswers);
+  EXPECT_EQ(a.total.lookups, b.total.lookups);
+  EXPECT_EQ(a.total.hops, b.total.hops);
+  EXPECT_EQ(a.total.retries, b.total.retries);
+  EXPECT_EQ(a.total.bytesMoved, b.total.bytesMoved);
+  EXPECT_EQ(a.total.messages, b.total.messages);
+  EXPECT_DOUBLE_EQ(a.finalNow, b.finalNow);
+
+  // A different fault seed reshuffles losses: the timeline must move
+  // (otherwise the fault RNG is not actually feeding the schedule).
+  const RunResult c = runWorkload(2009, /*withFaults=*/true, faultSeed + 1);
+  EXPECT_NE(a.trace, c.trace);
+}
+
+TEST(Replay, FaultFreeModelMatchesNoModelBitExactly) {
+  // FaultModel{enabled: false} must be indistinguishable from never
+  // installing a model at all — the bit-identical count/timeline
+  // contract with the pre-fault event core.
+  const RunResult a = runWorkload(2009);
+  const RunResult b = runWorkload(2009, /*withFaults=*/false,
+                                  /*faultSeed=*/1,
+                                  /*installDisabledModel=*/true);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_DOUBLE_EQ(a.finalNow, b.finalNow);
+  EXPECT_EQ(a.total.retries, 0u);
+  EXPECT_EQ(b.total.retries, 0u);
 }
 
 }  // namespace
