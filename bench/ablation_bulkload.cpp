@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace mlight;
   const auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   const auto data = bench::experimentDataset(args, 20090401);
 
   bench::banner("Ablation — bulk load vs incremental insertion",

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace mlight;
   auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   if (args.records == 123593) args.records = 40000;  // depth sweep x4 runs
   const auto data = workload::northeastDataset(args.records, 20090401);
 

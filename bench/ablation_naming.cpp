@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace mlight;
   const auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   const auto data = bench::experimentDataset(args, 20090401);
 
   bench::banner("Ablation — naming function vs identity placement",

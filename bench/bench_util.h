@@ -9,6 +9,7 @@
 //   --quick       1/10th-scale smoke run (used by CI-style checks)
 #pragma once
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -127,6 +128,41 @@ inline void banner(const char* title, const char* paperRef) {
   rule(78);
   std::printf("%s\n%s\n", title, paperRef);
   rule(78);
+}
+
+/// RAII host wall-clock timer for a whole bench run.  At destruction it
+/// prints a machine-greppable line
+///
+///     ##WALLCLOCK <name> <seconds>
+///
+/// which scripts/run_benches.sh collects into BENCH_PERF.json — the
+/// end-to-end half of the perf trajectory (docs/COST_MODEL.md, "Host
+/// wall-clock vs simulated cost").  Host time is *not* a simulated
+/// metric: consumers comparing bench output for count regressions must
+/// strip these lines (CI's golden diff does).
+class WallClock {
+ public:
+  explicit WallClock(const char* name)
+      : name_(name), t0_(std::chrono::steady_clock::now()) {}
+  ~WallClock() {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    std::printf("##WALLCLOCK %s %.3f\n", name_.c_str(), seconds);
+  }
+
+  WallClock(const WallClock&) = delete;
+  WallClock& operator=(const WallClock&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Basename of argv[0] — the conventional WallClock name.
+inline const char* benchName(const char* argv0) {
+  const char* slash = std::strrchr(argv0, '/');
+  return slash != nullptr ? slash + 1 : argv0;
 }
 
 }  // namespace mlight::bench

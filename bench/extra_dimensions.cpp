@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace mlight;
   auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   if (args.records == 123593) args.records = 30000;  // 4 dims x 3 schemes
 
   bench::banner("Extension — dimensionality sweep (m = 1..4)",

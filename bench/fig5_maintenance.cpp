@@ -95,6 +95,7 @@ void printSeries(const char* title, const char* unit,
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   const auto data = bench::experimentDataset(args, 20090401);
 
   bench::banner("Fig 5a/5b — maintenance cost vs data size",

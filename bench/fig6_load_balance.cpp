@@ -88,6 +88,7 @@ std::vector<Sample> run(core::SplitStrategy strategy,
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   const auto data = bench::experimentDataset(args, 20090401);
   const std::size_t checkpointEvery = data.size() / 10;
 

@@ -34,6 +34,7 @@ struct CurvePoint {
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
+  const bench::WallClock wall(bench::benchName(argv[0]));
   const auto data = bench::experimentDataset(args, 20090401);
 
   bench::banner("Fig 7 — range query performance",

@@ -1,12 +1,18 @@
 // Microbenchmarks (google-benchmark) for the hot primitives underneath
 // the figure harnesses: the naming function, bit interleaving, Algorithm 1
-// planning, SHA-1 key hashing, and overlay routing.
+// planning, SHA-1 key hashing, overlay routing, and the host-side memory
+// paths (label copies, serde round-trips, RPC envelope delivery) tracked
+// by BENCH_PERF.json.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/sha1.h"
 #include "common/zorder.h"
 #include "dht/network.h"
+#include "dht/rpc.h"
 #include "mlight/index.h"
 #include "mlight/kdspace.h"
 #include "mlight/naming.h"
@@ -85,6 +91,158 @@ void BM_OverlayRouting(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OverlayRouting)->Arg(16)->Arg(128)->Arg(1024);
+
+// --- Hot-path memory microbenches ------------------------------------
+//
+// These isolate the allocation behavior of the label and message paths:
+// every figure harness funnels through BitString manipulation (naming,
+// prefix binary search, branch enumeration) and RPC envelope
+// serialization, so ns/op here is the host wall-clock floor of the whole
+// simulation.  Bodies use only the public API so the series is
+// comparable across representation changes (BENCH_PERF.json).
+
+mlight::common::BitString randomLabel(std::size_t bits, std::uint64_t seed) {
+  common::Rng rng(seed);
+  common::BitString out;
+  for (std::size_t i = 0; i < bits; ++i) out.pushBack(rng.chance(0.5));
+  return out;
+}
+
+void BM_BitStringCopy(benchmark::State& state) {
+  const auto label =
+      randomLabel(static_cast<std::size_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    common::BitString copy = label;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_BitStringCopy)->Arg(31)->Arg(120)->Arg(200);
+
+void BM_BitStringPrefixChain(benchmark::State& state) {
+  // prefix() at every length of a D=28 label — the shape of branch
+  // enumeration in range forwarding and of split planning.
+  common::BitString label = core::rootLabel(2);
+  label.append(randomLabel(28, 22));
+  for (auto _ : state) {
+    for (std::size_t n = 0; n <= label.size(); ++n) {
+      benchmark::DoNotOptimize(label.prefix(n));
+    }
+  }
+}
+BENCHMARK(BM_BitStringPrefixChain);
+
+void BM_BitStringAppend(benchmark::State& state) {
+  // pointPathLabel's shape: root label + D interleaved bits.
+  const common::BitString tail = randomLabel(28, 23);
+  for (auto _ : state) {
+    common::BitString label = core::rootLabel(2);
+    label.append(tail);
+    benchmark::DoNotOptimize(label);
+  }
+}
+BENCHMARK(BM_BitStringAppend);
+
+void BM_LookupPrefixSearch(benchmark::State& state) {
+  // The label arithmetic of one §5 lookup: a ⌈log₂D⌉-probe binary search
+  // over candidate prefixes of the point's full path, naming each probe
+  // key (store access and routing excluded).
+  constexpr std::size_t m = 2;
+  constexpr std::size_t D = 28;
+  common::Rng rng(24);
+  std::vector<common::BitString> fulls;
+  for (int i = 0; i < 64; ++i) {
+    const common::Point p{rng.uniform(), rng.uniform()};
+    fulls.push_back(core::pointPathLabel(p, m, D));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const common::BitString& full = fulls[i++ % fulls.size()];
+    std::size_t lo = 0;
+    std::size_t hi = D;
+    while (lo < hi) {
+      const std::size_t t = lo + (hi - lo) / 2;
+      const common::BitString key = core::naming(full.prefix(m + 1 + t), m);
+      benchmark::DoNotOptimize(key);
+      if (key.size() % 2 == 0) {
+        hi = t;
+      } else {
+        lo = t + 1;
+      }
+    }
+  }
+}
+BENCHMARK(BM_LookupPrefixSearch);
+
+void BM_BitStringHashAndFind(benchmark::State& state) {
+  // The store's per-probe hashing shape: one probe key hashed against
+  // the bucket map and its sibling bookkeeping tables (the same label is
+  // hashed several times per delivery).
+  std::unordered_map<common::BitString, int, common::BitStringHash> entries;
+  std::unordered_map<common::BitString, int, common::BitStringHash> cache;
+  std::vector<common::BitString> keys;
+  for (std::uint64_t s = 0; s < 256; ++s) {
+    keys.push_back(randomLabel(31, 100 + s));
+    entries.emplace(keys.back(), static_cast<int>(s));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const common::BitString probe = keys[i++ % keys.size()];
+    benchmark::DoNotOptimize(entries.find(probe));
+    benchmark::DoNotOptimize(cache.find(probe));
+    benchmark::DoNotOptimize(probe.hash64());
+  }
+}
+BENCHMARK(BM_BitStringHashAndFind);
+
+void BM_SerdeBitStringRoundTrip(benchmark::State& state) {
+  const auto label =
+      randomLabel(static_cast<std::size_t>(state.range(0)), 25);
+  for (auto _ : state) {
+    common::Writer w;
+    w.writeBitString(label);
+    common::Reader r(w.bytes());
+    benchmark::DoNotOptimize(r.readBitString());
+  }
+}
+BENCHMARK(BM_SerdeBitStringRoundTrip)->Arg(31)->Arg(120);
+
+void BM_RpcEnvelopeRoundTrip(benchmark::State& state) {
+  // One envelope's serialize → wire → deserialize cycle, the per-message
+  // work both the fault-free and fault paths perform.
+  dht::RpcEnvelope env;
+  env.id = 7;
+  env.kind = dht::RpcKind::kVisit;
+  env.from = dht::RingId{0x1234};
+  env.to = dht::RingId{0x5678};
+  env.round = 3;
+  env.payload.assign(48, 0xAB);
+  for (auto _ : state) {
+    common::Writer w;
+    env.serialize(w);
+    common::Reader r(w.bytes());
+    benchmark::DoNotOptimize(dht::RpcEnvelope::deserialize(r));
+  }
+}
+BENCHMARK(BM_RpcEnvelopeRoundTrip);
+
+void BM_RpcSendDeliver(benchmark::State& state) {
+  // Full fault-free message cycle: route, serialize through the send
+  // queue, scheduler delivery, handler dispatch.
+  dht::Network net(64, 13);
+  const auto& peers = net.peers();
+  common::Rng rng(14);
+  const std::vector<std::uint8_t> payload(48, 0xAB);
+  for (auto _ : state) {
+    dht::RpcEnvelope env;
+    env.kind = dht::RpcKind::kGet;
+    env.from = peers[rng.below(peers.size())];
+    env.payload = payload;
+    net.sendRpc(dht::RingId{rng.next()}, std::move(env),
+                [](const dht::RpcDelivery&) {});
+    net.run();
+  }
+}
+BENCHMARK(BM_RpcSendDeliver);
 
 void BM_MLightInsert(benchmark::State& state) {
   dht::Network net(128, 7);

@@ -3,20 +3,32 @@
 # CI workflow (smoke scale) — one place encodes which binaries take
 # which flags, so the two callers cannot drift apart again.
 #
-# Usage: scripts/run_benches.sh BUILD_DIR [--quick] [--min-time=T]
-#   BUILD_DIR      build tree containing bench/ binaries
-#   --quick        propagate the harness's 1/10-scale flag to the
-#                  scenario benches (everything except micro_ops)
-#   --min-time=T   cap google-benchmark runtime for micro_ops, e.g.
-#                  --min-time=0.01s (micro_ops rejects foreign flags, so
-#                  it only ever receives --benchmark_min_time)
+# Besides streaming every bench's normal output, the loop assembles a
+# perf trajectory file (default BUILD_DIR/BENCH_PERF.json):
+#   * micro_ns_per_op      — google-benchmark real_time per micro_ops bench
+#   * end_to_end_seconds   — host wall-clock per figure/ablation bench,
+#                            collected from the ##WALLCLOCK lines emitted
+#                            by bench_util.h's WallClock
+# Host wall-clock is NOT a simulated metric; see docs/COST_MODEL.md
+# ("Host wall-clock vs simulated cost").
+#
+# Usage: scripts/run_benches.sh BUILD_DIR [--quick] [--min-time=T] [--perf-json=FILE]
+#   BUILD_DIR        build tree containing bench/ binaries
+#   --quick          propagate the harness's 1/10-scale flag to the
+#                    scenario benches (everything except micro_ops)
+#   --min-time=T     cap google-benchmark runtime for micro_ops, e.g.
+#                    --min-time=0.01s (micro_ops rejects foreign flags, so
+#                    it only ever receives --benchmark_min_time)
+#   --perf-json=F    where to write the perf trajectory (default
+#                    BUILD_DIR/BENCH_PERF.json)
 set -euo pipefail
 
-BUILD_DIR="${1:?usage: run_benches.sh BUILD_DIR [--quick] [--min-time=T]}"
+BUILD_DIR="${1:?usage: run_benches.sh BUILD_DIR [--quick] [--min-time=T] [--perf-json=FILE]}"
 shift
 
 QUICK=""
 MIN_TIME=""
+PERF_JSON=""
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK="--quick" ;;
@@ -26,16 +38,57 @@ for arg in "$@"; do
       T="${arg#--min-time=}"
       MIN_TIME="--benchmark_min_time=${T%s}"
       ;;
+    --perf-json=*) PERF_JSON="${arg#--perf-json=}" ;;
     *) echo "run_benches.sh: unknown flag $arg" >&2; exit 2 ;;
   esac
 done
+PERF_JSON="${PERF_JSON:-$BUILD_DIR/BENCH_PERF.json}"
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+MICRO_JSON="$TMP_DIR/micro.json"
+WALL_LOG="$TMP_DIR/wallclock.txt"
+: > "$WALL_LOG"
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
   [ -f "$b" ] || continue
   echo "===== $b ${QUICK:-} ${MIN_TIME:-}"
   case "$b" in
-    *micro_ops) "$b" ${MIN_TIME:+"$MIN_TIME"} ;;
-    *) "$b" ${QUICK:+"$QUICK"} ;;
+    *micro_ops)
+      "$b" ${MIN_TIME:+"$MIN_TIME"} \
+        --benchmark_out="$MICRO_JSON" --benchmark_out_format=json
+      ;;
+    *)
+      "$b" ${QUICK:+"$QUICK"} | tee "$TMP_DIR/out.txt"
+      grep '^##WALLCLOCK ' "$TMP_DIR/out.txt" >> "$WALL_LOG" || true
+      ;;
   esac
 done
+
+# Assemble the perf trajectory.  jq is present on the dev image and the
+# CI runners; degrade to a notice (not a failure) elsewhere.
+[ -f "$MICRO_JSON" ] || echo '{}' > "$MICRO_JSON"
+if command -v jq > /dev/null 2>&1; then
+  jq -n \
+    --slurpfile micro_doc "$MICRO_JSON" \
+    --rawfile wall "$WALL_LOG" \
+    --arg quick "${QUICK:-}" \
+    '{
+       quick: ($quick != ""),
+       micro_ns_per_op:
+         (($micro_doc[0].benchmarks // [])
+          | map(select(.real_time != null
+                       and (.name | test("_BigO|_RMS") | not))
+                | {(.name): ((.real_time * 10 | round) / 10)})
+          | add // {}),
+       end_to_end_seconds:
+         ($wall | split("\n")
+          | map(select(length > 0) | split(" ")
+                | {(.[1]): (.[2] | tonumber)})
+          | add // {})
+     }' > "$PERF_JSON"
+  echo "perf trajectory written to $PERF_JSON"
+else
+  echo "run_benches.sh: jq not found; skipping $PERF_JSON" >&2
+fi

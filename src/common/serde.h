@@ -30,6 +30,15 @@ class SerdeError : public std::runtime_error {
 /// Append-only byte sink.
 class Writer {
  public:
+  Writer() = default;
+
+  /// Adopts `reuse` as the backing store (cleared, capacity kept) so hot
+  /// paths can serialize into a pooled buffer instead of allocating.
+  explicit Writer(std::vector<std::uint8_t>&& reuse) noexcept
+      : bytes_(std::move(reuse)) {
+    bytes_.clear();
+  }
+
   void writeU8(std::uint8_t v) { bytes_.push_back(v); }
   void writeU32(std::uint32_t v) { writeLe(v); }
   void writeU64(std::uint64_t v) { writeLe(v); }
@@ -90,21 +99,25 @@ class Reader {
     return out;
   }
   std::vector<std::uint8_t> readBytes() {
+    std::vector<std::uint8_t> out;
+    readBytesInto(out);
+    return out;
+  }
+  /// readBytes into a caller-owned (possibly pooled) buffer, reusing its
+  /// capacity instead of allocating a fresh vector per message.
+  void readBytesInto(std::vector<std::uint8_t>& out) {
     const std::uint32_t n = readU32();
     require(n);
-    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    out.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
-    return out;
   }
   BitString readBitString() {
     const std::uint32_t nbits = readU32();
-    const std::size_t nwords = (nbits + 63) / 64;
-    std::vector<std::uint64_t> words(nwords);
-    for (auto& w : words) w = readU64();
     BitString out;
-    for (std::uint32_t i = 0; i < nbits; ++i) {
-      out.pushBack((words[i / 64] >> (i % 64)) & 1u);
+    out.reserveBits(nbits);
+    for (std::size_t done = 0; done < nbits; done += 64) {
+      out.appendWordBits(readU64(), std::min<std::size_t>(64, nbits - done));
     }
     return out;
   }

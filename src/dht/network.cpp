@@ -140,7 +140,8 @@ void Network::deliver(const std::vector<std::uint8_t>& wire,
                       const RpcHandler& handler) {
   common::Reader r(wire);
   RpcDelivery d;
-  d.env = RpcEnvelope::deserialize(r);
+  d.env.payload = bufferPool_.acquire();  // reused by deserializeFrom
+  d.env.deserializeFrom(r);
   if (!r.atEnd()) {
     throw common::SerdeError("rpc: trailing bytes after envelope");
   }
@@ -150,6 +151,31 @@ void Network::deliver(const std::vector<std::uint8_t>& wire,
   timelineMaxRound_ = std::max(timelineMaxRound_, d.env.round);
   if (rpcTrace_) rpcTrace_(d);
   if (handler) handler(d);
+  bufferPool_.release(std::move(d.env.payload));
+}
+
+std::uint32_t Network::allocDeliverySlot() {
+  if (freeDeliverySlots_.empty()) {
+    deliverySlots_.emplace_back();
+    return static_cast<std::uint32_t>(deliverySlots_.size() - 1);
+  }
+  const std::uint32_t slot = freeDeliverySlots_.back();
+  freeDeliverySlots_.pop_back();
+  return slot;
+}
+
+void Network::deliverSlot(std::uint32_t slot) {
+  // Move the slot's contents to locals and free the slot *before* the
+  // handler runs: handlers routinely issue follow-up RPCs, which
+  // allocate slots (possibly reallocating deliverySlots_) and must be
+  // free to reuse this one.
+  std::vector<std::uint8_t> wire = std::move(deliverySlots_[slot].wire);
+  const RouteResult route = deliverySlots_[slot].route;
+  const double departure = deliverySlots_[slot].departure;
+  RpcHandler handler = std::move(deliverySlots_[slot].handler);
+  freeDeliverySlots_.push_back(slot);
+  deliver(wire, route, departure, handler);
+  bufferPool_.release(std::move(wire));
 }
 
 void Network::setFaultModel(const FaultModel& faults) {
@@ -261,19 +287,26 @@ RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler,
 
   // Fault-free path: exactly one delivery event, no RNG draws — the
   // timeline is byte-identical to a network without the fault layer.
-  common::Writer w;
+  // The wire image serializes into a pooled buffer, the consumed
+  // payload is recycled, and the in-flight state parks in a pooled
+  // delivery slot so the scheduled closure is two words (no per-message
+  // allocation anywhere in the steady state).
+  common::Writer w(bufferPool_.acquire());
   env.serialize(w);
+  bufferPool_.release(std::move(env.payload));
 
   double& nextFree = sendQueueFree_[env.from];
   const double departure = std::max(sched_.now(), nextFree);
   nextFree = departure + latency_.sendOverheadMs;
   const double arrival = departure + route.ms;
 
-  sched_.schedule(arrival,
-                  [this, wire = std::move(w).take(), route, departure,
-                   handler = std::move(handler)]() {
-                    deliver(wire, route, departure, handler);
-                  });
+  const std::uint32_t slot = allocDeliverySlot();
+  DeliverySlot& s = deliverySlots_[slot];
+  s.wire = std::move(w).take();
+  s.route = route;
+  s.departure = departure;
+  s.handler = std::move(handler);
+  sched_.schedule(arrival, [this, slot]() { deliverSlot(slot); });
   return route;
 }
 

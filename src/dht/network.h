@@ -206,6 +206,29 @@ class Network {
   using RpcTraceFn = std::function<void(const RpcDelivery&)>;
   void setRpcTrace(RpcTraceFn fn) { rpcTrace_ = std::move(fn); }
 
+  // --- Pooled message buffers ------------------------------------------
+  //
+  // Per-message transient vectors (wire images, envelope payloads,
+  // store bucket bodies) cycle through one BufferPool per Network.
+  // Host-side only: buffers are cleared on acquire, so pooling is
+  // invisible to the simulation (see the pooling on/off replay test).
+
+  /// A cleared scratch buffer, recycled when available.  Callers that
+  /// serialize transient bodies (e.g. the store) should round-trip
+  /// their buffers through here instead of allocating per message.
+  std::vector<std::uint8_t> acquireBuffer() { return bufferPool_.acquire(); }
+  void releaseBuffer(std::vector<std::uint8_t>&& b) noexcept {
+    bufferPool_.release(std::move(b));
+  }
+
+  /// A/B switch for the pooling-transparency tests; on by default.
+  void setBufferPooling(bool on) { bufferPool_.setEnabled(on); }
+  bool bufferPooling() const noexcept { return bufferPool_.enabled(); }
+  /// Buffers currently parked in the free list (introspection).
+  std::size_t pooledBufferCount() const noexcept {
+    return bufferPool_.pooledCount();
+  }
+
   // --- Fault injection -------------------------------------------------
 
   /// Installs (or replaces) the fault model and reseeds the fault RNG.
@@ -309,6 +332,19 @@ class Network {
   /// the fault-free and fault-injected delivery paths).
   void deliver(const std::vector<std::uint8_t>& wire, const RouteResult& route,
                double departure, const RpcHandler& handler);
+
+  /// In-flight state of one fault-free message, parked in a pooled slot
+  /// so the scheduled closure captures only {this, slot} — small enough
+  /// for std::function's inline buffer, which keeps the scheduler's
+  /// event nodes allocation-free (see SimScheduler::schedule).
+  struct DeliverySlot {
+    std::vector<std::uint8_t> wire;
+    RouteResult route{};
+    double departure = 0.0;
+    RpcHandler handler;
+  };
+  std::uint32_t allocDeliverySlot();
+  void deliverSlot(std::uint32_t slot);
   /// One transmission attempt under fault injection (attempt 0 = the
   /// original send); schedules the guarded delivery plus its timeout.
   void transmitWithFaults(RingId key, const RouteResult& route,
@@ -335,6 +371,9 @@ class Network {
 
   SimScheduler sched_;
   std::map<RingId, double> sendQueueFree_;  // per-sender next free slot
+  BufferPool bufferPool_;
+  std::vector<DeliverySlot> deliverySlots_;
+  std::vector<std::uint32_t> freeDeliverySlots_;
   std::uint64_t nextRpcId_ = 0;
   std::uint32_t timelineMaxRound_ = 0;
   RpcTraceFn rpcTrace_;

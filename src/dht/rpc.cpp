@@ -13,18 +13,22 @@ void RpcEnvelope::serialize(common::Writer& w) const {
 
 RpcEnvelope RpcEnvelope::deserialize(common::Reader& r) {
   RpcEnvelope env;
-  env.id = r.readU64();
-  const std::uint8_t kind = r.readU8();
-  if (kind < static_cast<std::uint8_t>(RpcKind::kGet) ||
-      kind > static_cast<std::uint8_t>(RpcKind::kResponse)) {
+  env.deserializeFrom(r);
+  return env;
+}
+
+void RpcEnvelope::deserializeFrom(common::Reader& r) {
+  id = r.readU64();
+  const std::uint8_t k = r.readU8();
+  if (k < static_cast<std::uint8_t>(RpcKind::kGet) ||
+      k > static_cast<std::uint8_t>(RpcKind::kResponse)) {
     throw common::SerdeError("rpc: unknown envelope kind");
   }
-  env.kind = static_cast<RpcKind>(kind);
-  env.from = RingId{r.readU64()};
-  env.to = RingId{r.readU64()};
-  env.round = r.readU32();
-  env.payload = r.readBytes();
-  return env;
+  kind = static_cast<RpcKind>(k);
+  from = RingId{r.readU64()};
+  to = RingId{r.readU64()};
+  round = r.readU32();
+  r.readBytesInto(payload);
 }
 
 }  // namespace mlight::dht

@@ -46,6 +46,53 @@ struct RpcEnvelope {
 
   void serialize(common::Writer& w) const;
   static RpcEnvelope deserialize(common::Reader& r);
+  /// deserialize into *this, reusing the existing payload capacity (the
+  /// pooled-delivery path: one buffer cycles through every message
+  /// instead of a fresh vector per envelope).
+  void deserializeFrom(common::Reader& r);
+};
+
+/// Free list of byte buffers for the per-message hot path.  Every RPC
+/// needs two transient vectors (the serialized wire image and the
+/// deserialized payload); recycling them through this pool makes the
+/// steady-state message cycle allocation-free.  Purely a host-side
+/// optimization: buffers are cleared on acquire and carry no simulated
+/// state, so pooling cannot perturb the timeline (pinned by the replay
+/// pooling on/off test).
+class BufferPool {
+ public:
+  /// An empty buffer, recycled when available (capacity retained).
+  std::vector<std::uint8_t> acquire() {
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// Returns a buffer to the pool (dropped when disabled or full).
+  void release(std::vector<std::uint8_t>&& b) noexcept {
+    if (enabled_ && free_.size() < kMaxPooled) free_.push_back(std::move(b));
+  }
+
+  /// Disabling clears the pool; acquire() then always allocates fresh —
+  /// the A/B switch for the pooling-transparency replay test.
+  void setEnabled(bool on) {
+    enabled_ = on;
+    if (!on) free_.clear();
+  }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Buffers currently parked in the free list.
+  std::size_t pooledCount() const noexcept { return free_.size(); }
+
+ private:
+  /// Cap on parked buffers: bounds worst-case retained memory under a
+  /// burst (fan-outs park one wire buffer per in-flight message).
+  static constexpr std::size_t kMaxPooled = 256;
+
+  bool enabled_ = true;
+  std::vector<std::vector<std::uint8_t>> free_;
 };
 
 }  // namespace mlight::dht

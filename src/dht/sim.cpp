@@ -4,6 +4,10 @@ namespace mlight::dht {
 
 std::uint64_t SimScheduler::schedule(double at, Fn fn) {
   const std::uint64_t seq = nextSeq_++;
+  // Skip the initial capacity ramp (1, 2, 4, ...): even a single RPC
+  // schedules a handful of events, and the heap never shrinks, so one
+  // up-front block makes steady-state scheduling allocation-free.
+  if (heap_.capacity() == 0) heap_.reserve(64);
   heap_.push_back(Event{std::max(at, clock_.now()), seq, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return seq;

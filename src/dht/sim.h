@@ -47,6 +47,14 @@ class SimScheduler {
 
   /// Schedules `fn` to run at simulated time `at` (clamped to `now`).
   /// Returns the event's sequence number (global issue order).
+  ///
+  /// Event nodes live in a reused vector-backed heap, so scheduling is
+  /// allocation-free once the heap has grown — *provided the closure
+  /// fits std::function's inline buffer* (two pointers on libstdc++).
+  /// Hot paths keep to that budget by parking their per-event state in
+  /// pooled slots and capturing only an owner pointer plus a slot index
+  /// (see Network's delivery slots); cold paths (fault injection) may
+  /// capture freely.
   std::uint64_t schedule(double at, Fn fn);
 
   /// Delivers the next event, advancing the clock to its timestamp.

@@ -58,8 +58,10 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
   std::vector<Label> probedKeys;
   for (;;) {
     const std::size_t t = lo + (hi - lo) / 2;
-    const Label candidate = full.prefix(m + 1 + t);
-    const Label key = naming(candidate, m);
+    // Name the candidate prefix without materializing it: f_md's result
+    // is itself a prefix of `full`, so one length computation + one
+    // prefix() replaces two temporary labels per probe.
+    const Label key = full.prefix(namedPrefixLength(full, m + 1 + t, m));
     if (std::find(probedKeys.begin(), probedKeys.end(), key) !=
         probedKeys.end()) {
       lo = t + 1;
@@ -119,8 +121,8 @@ MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
   LookupResult out;
   Label lastProbed;
   for (std::size_t t = 0; t <= config_.maxEdgeDepth; ++t) {
-    const Label candidate = full.prefix(m + 1 + t);
-    const Label probeKey = naming(candidate, m);
+    const Label probeKey =
+        full.prefix(namedPrefixLength(full, m + 1 + t, m));
     if (probeKey == lastProbed) continue;  // consecutive shared name
     lastProbed = probeKey;
     const auto found = store_.routeAndFind(

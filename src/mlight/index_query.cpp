@@ -183,7 +183,7 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
                 std::vector<Task> follow;
                 for (std::size_t len = task.target.size() + 1;
                      len <= leafLabel.size(); ++len) {
-                  const Label branch = leafLabel.prefix(len).sibling();
+                  const Label branch = leafLabel.prefixSibling(len);
                   const Rect branchRegion = labelRegion(branch, config_.dims);
                   const Rect sub = task.range.intersection(branchRegion);
                   if (!sub.empty() && region.intersects(branchRegion)) {
@@ -253,7 +253,7 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
     const std::size_t firstLen = std::max(base.size() + 1, config_.dims + 2);
     std::vector<Task> seed;
     for (std::size_t len = firstLen; len <= leafLabel.size(); ++len) {
-      const Label branch = leafLabel.prefix(len).sibling();
+      const Label branch = leafLabel.prefixSibling(len);
       const Rect branchRegion = labelRegion(branch, config_.dims);
       const Rect sub = clipped.intersection(branchRegion);
       if (!sub.empty() && region.intersects(branchRegion)) {

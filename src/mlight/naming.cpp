@@ -19,19 +19,25 @@ bool isTreeNodeLabel(const BitString& label, std::size_t dims) {
          rootLabel(dims).isPrefixOf(label);
 }
 
-BitString naming(const BitString& label, std::size_t dims) {
-  assert(isTreeNodeLabel(label, dims));
-  BitString out = label;
+std::size_t namedPrefixLength(const BitString& path, std::size_t nodeLen,
+                              std::size_t dims) noexcept {
+  std::size_t i = nodeLen;
+  // 1-based b_i is path.bit(i-1); b_{i-m} is path.bit(i-1-dims).  The
+  // recursion only ever inspects bits of the original label, so it runs
+  // on the unmodified path — no copy, no popBack chain.
   for (;;) {
-    const std::size_t i = out.size();
-    // 1-based b_i is out.bit(i-1); b_{i-m} is out.bit(i-1-dims).
-    const bool same = out.bit(i - 1) == out.bit(i - 1 - dims);
-    out.popBack();
-    if (!same) return out;
+    const bool same = path.bit(i - 1) == path.bit(i - 1 - dims);
+    if (!same) return i - 1;
+    --i;
     // The root # always terminates the recursion: its last bit is 1 and
     // b_{i-m} is the leading 0, so `same` is false at length m+1.
-    assert(out.size() >= dims + 1);
+    assert(i >= dims + 1);
   }
+}
+
+BitString naming(const BitString& label, std::size_t dims) {
+  assert(isTreeNodeLabel(label, dims));
+  return label.prefix(namedPrefixLength(label, label.size(), dims));
 }
 
 }  // namespace mlight::core

@@ -41,6 +41,15 @@ bool isTreeNodeLabel(const BitString& label, std::size_t dims);
 /// The result is always a proper prefix of `label`, of length >= m.
 BitString naming(const BitString& label, std::size_t dims);
 
+/// Length of f_md applied to the first `nodeLen` bits of `path` — the
+/// naming result is always a prefix of the input, so callers holding a
+/// longer path (lookup's §5 probe binary search) can name any ancestor
+/// without materializing it: the probe key is
+/// `path.prefix(namedPrefixLength(path, len, m))`.
+/// Precondition: isTreeNodeLabel(path.prefix(nodeLen), dims).
+std::size_t namedPrefixLength(const BitString& path, std::size_t nodeLen,
+                              std::size_t dims) noexcept;
+
 /// Edge depth of a node label: 0 for the root #, +1 per edge.
 inline std::size_t edgeDepth(const BitString& label,
                              std::size_t dims) noexcept {

@@ -25,7 +25,11 @@ struct Planner {
     std::vector<std::pair<BitString, std::vector<std::size_t>>> leaves;
   };
 
-  Node run(const BitString& label, const Rect& region,
+  /// `label` is a scratch string mutated in place down the recursion
+  /// (pushBack on descent, popBack on return) — the DP explores O(2^D)
+  /// nodes and a per-node label copy dominated its runtime; only
+  /// materialized leaves copy the label.
+  Node run(BitString& label, const Rect& region,
            std::vector<std::size_t> idx) const {
     const double localCost = sq(static_cast<double>(idx.size()) - epsilon);
     const bool atDepthCap = edgeDepth(label, dims) >= maxEdgeDepth;
@@ -41,10 +45,11 @@ struct Planner {
     for (std::size_t i : idx) {
       (records[i].key[dim] >= mid ? hiIdx : loIdx).push_back(i);
     }
-    Node left = run(label.withBack(false), region.halved(dim, false),
-                    std::move(loIdx));
-    Node right = run(label.withBack(true), region.halved(dim, true),
-                     std::move(hiIdx));
+    label.pushBack(false);
+    Node left = run(label, region.halved(dim, false), std::move(loIdx));
+    label.flipBack();
+    Node right = run(label, region.halved(dim, true), std::move(hiIdx));
+    label.popBack();
     const double splitCost = left.cost + right.cost;
     if (localCost <= splitCost) {
       Node n{localCost, {}};
@@ -80,7 +85,9 @@ SplitPlan planDataAwareSplit(const BitString& label, const Rect& region,
   std::vector<std::size_t> idx(records.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   const Planner planner{records, epsilon, dims, maxEdgeDepth};
-  Planner::Node node = planner.run(label, region, std::move(idx));
+  BitString scratch = label;
+  Planner::Node node = planner.run(scratch, region, std::move(idx));
+  assert(scratch == label && "planner must restore its scratch label");
 
   SplitPlan plan;
   plan.cost = node.cost;

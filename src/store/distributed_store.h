@@ -251,13 +251,13 @@ class DistributedStore {
     // to keep the byte accounting exact and so the wire format is
     // exercised on every put; the owner stores what comes out of the
     // decoder at delivery.
-    mlight::common::Writer bucketWire;
+    mlight::common::Writer bucketWire(net_->acquireBuffer());
     bucket.serialize(bucketWire);
     MLIGHT_CHECK(bucketWire.size() == bucket.byteSize(),
                  "byteSize() disagrees with the wire format");
     const std::vector<CopyTarget> targets = copyTargets(label);
 
-    mlight::common::Writer body;
+    mlight::common::Writer body(net_->acquireBuffer());
     body.writeBitString(label);
     body.writeBytes(bucketWire.bytes());
 
@@ -272,7 +272,8 @@ class DistributedStore {
         [this](const mlight::dht::RpcDelivery& d) {
           mlight::common::Reader r(d.env.payload);
           const Label wireLabel = r.readBitString();
-          const std::vector<std::uint8_t> bucketBytes = r.readBytes();
+          std::vector<std::uint8_t> bucketBytes = net_->acquireBuffer();
+          r.readBytesInto(bucketBytes);
           mlight::common::Reader br(bucketBytes);
           Entry entry;
           // Resolve the holders on the ring as it is *now*: churn between
@@ -284,6 +285,7 @@ class DistributedStore {
           MLIGHT_CHECK(br.atEnd(), "wire format left trailing bytes");
           mourned_.erase(wireLabel);
           entries_.insert_or_assign(wireLabel, std::move(entry));
+          net_->releaseBuffer(std::move(bucketBytes));
         });
     net_->shipPayload(source, targets[0].holder, bucketWire.size(),
                       bucket.recordCount());
@@ -293,6 +295,7 @@ class DistributedStore {
       net_->shipPayload(source, targets[i].holder, bucketWire.size(),
                         bucket.recordCount());
     }
+    net_->releaseBuffer(std::move(bucketWire).take());
   }
 
   /// One DHT-lookup: routes from `initiator` to the key's owner and
@@ -331,7 +334,7 @@ class DistributedStore {
     Entry entry;
     entry.copies = copyTargets(label);
     for (std::size_t i = 1; i < entry.copies.size(); ++i) {
-      mlight::common::Writer body;
+      mlight::common::Writer body(net_->acquireBuffer());
       body.writeBitString(label);
       mlight::dht::RpcEnvelope env;
       env.kind = mlight::dht::RpcKind::kPut;
@@ -362,7 +365,7 @@ class DistributedStore {
     ensureReplicated(label, it->second, source);
     const std::vector<CopyTarget>& copies = it->second.copies;
     for (std::size_t i = 1; i < copies.size(); ++i) {
-      mlight::common::Writer body;
+      mlight::common::Writer body(net_->acquireBuffer());
       body.writeBitString(label);
       mlight::dht::RpcEnvelope env;
       env.kind = mlight::dht::RpcKind::kPut;
@@ -513,7 +516,7 @@ class DistributedStore {
 
   void issueAccess(std::shared_ptr<AccessState> state, RingId initiator,
                    std::uint32_t round, std::size_t salt) {
-    mlight::common::Writer body;
+    mlight::common::Writer body(net_->acquireBuffer());
     body.writeBitString(state->label);
     mlight::dht::RpcEnvelope env;
     env.kind = state->kind;

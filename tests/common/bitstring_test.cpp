@@ -209,5 +209,244 @@ TEST_P(BitStringPropertyTest, SiblingIsInvolutionAndDiffersInLastBit) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BitStringPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
 
+// --- Small-buffer boundary (ISSUE 4) ---------------------------------
+//
+// BitString stores up to kInlineBits (128) bits inline and spills to
+// heap beyond.  Everything observable must be representation-blind:
+// these tests pin the exact boundary — 127 (inline with room), 128
+// (inline, full), 129 (heap) — and the transitions across it.
+
+BitString patternedLabel(std::size_t bits) {
+  BitString b;
+  for (std::size_t i = 0; i < bits; ++i) b.pushBack(i % 3 == 0 || i % 7 == 0);
+  return b;
+}
+
+TEST(BitStringSbo, BoundaryLengthsRoundTripThroughEveryAccessor) {
+  for (const std::size_t n :
+       {std::size_t{127}, std::size_t{128}, std::size_t{129}}) {
+    const BitString b = patternedLabel(n);
+    ASSERT_EQ(b.size(), n);
+    std::string expect;
+    for (std::size_t i = 0; i < n; ++i) {
+      expect.push_back((i % 3 == 0 || i % 7 == 0) ? '1' : '0');
+    }
+    EXPECT_EQ(b.toString(), expect);
+    EXPECT_EQ(BitString::fromString(expect), b);
+    EXPECT_EQ(b.words().size(), (n + 63) / 64);
+  }
+}
+
+TEST(BitStringSbo, SpillAndUnspillRoundTrip) {
+  // Push across the boundary (spills at bit 129), pop back under it:
+  // the label must stay equal, bit for bit and hash for hash, to one
+  // that never left inline storage.
+  BitString b = patternedLabel(127);
+  const BitString at127 = b;
+  b.pushBack(true);   // 128: inline, full
+  b.pushBack(false);  // 129: heap
+  b.pushBack(true);   // 130
+  EXPECT_EQ(b.size(), 130u);
+  b.popBack();
+  b.popBack();
+  b.popBack();
+  EXPECT_EQ(b, at127);
+  EXPECT_EQ(b.hash64(), at127.hash64());
+  EXPECT_EQ(b.toString(), at127.toString());
+  // A copy of the popped-down label lands back in inline storage; a
+  // copy is equal either way.
+  const BitString copy = b;
+  EXPECT_EQ(copy, at127);
+}
+
+TEST(BitStringSbo, TruncateAcrossTheBoundaryMatchesPrefix) {
+  const BitString full = patternedLabel(200);
+  for (const std::size_t n : {std::size_t{129}, std::size_t{128},
+                              std::size_t{127}, std::size_t{64},
+                              std::size_t{1}, std::size_t{0}}) {
+    BitString t = full;
+    t.truncate(n);
+    EXPECT_EQ(t, full.prefix(n)) << n;
+    EXPECT_EQ(t.hash64(), full.prefix(n).hash64()) << n;
+  }
+}
+
+TEST(BitStringSbo, OrderingAndPrefixAcrossTheBoundary) {
+  const BitString b127 = patternedLabel(127);
+  const BitString b128 = patternedLabel(128);
+  const BitString b129 = patternedLabel(129);
+  EXPECT_TRUE(b127.isPrefixOf(b128));
+  EXPECT_TRUE(b128.isPrefixOf(b129));
+  EXPECT_TRUE(b127.isPrefixOf(b129));
+  EXPECT_FALSE(b129.isPrefixOf(b127));
+  // A proper prefix orders before its extensions.
+  EXPECT_LT(b127, b128);
+  EXPECT_LT(b128, b129);
+  // Flipping a bit deep in the heap-only tail reorders correctly.
+  BitString hi = b129;
+  hi.setBit(128, !hi.bit(128));
+  EXPECT_NE(hi, b129);
+  EXPECT_EQ(hi.commonPrefixLength(b129), 128u);
+  if (b129.bit(128)) {
+    EXPECT_LT(hi, b129);
+  } else {
+    EXPECT_GT(hi, b129);
+  }
+}
+
+TEST(BitStringSbo, CommonPrefixLengthMatchesBruteForce) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t na = rng.below(160);
+    BitString a;
+    for (std::size_t i = 0; i < na; ++i) a.pushBack(rng.chance(0.5));
+    // Derive b from a prefix of a plus noise so long shared prefixes
+    // actually occur.
+    BitString b = a.prefix(rng.below(na + 1));
+    const std::size_t extra = rng.below(80);
+    for (std::size_t i = 0; i < extra; ++i) b.pushBack(rng.chance(0.5));
+    std::size_t expect = 0;
+    const std::size_t limit = std::min(a.size(), b.size());
+    while (expect < limit && a.bit(expect) == b.bit(expect)) ++expect;
+    EXPECT_EQ(a.commonPrefixLength(b), expect);
+    EXPECT_EQ(b.commonPrefixLength(a), expect);
+  }
+}
+
+TEST(BitStringSbo, AppendBitsMatchesBitwiseAppendAtEveryOffset) {
+  // Exercise the shifted word-merge at every alignment of head × a tail
+  // long enough to cross words.
+  for (std::size_t headBits = 0; headBits <= 70; ++headBits) {
+    const BitString head = patternedLabel(headBits);
+    for (const std::size_t tailBits :
+         {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+          std::size_t{130}}) {
+      BitString tail;
+      for (std::size_t i = 0; i < tailBits; ++i) {
+        tail.pushBack((i * 5 + headBits) % 4 == 1);
+      }
+      BitString fast = head;
+      fast.appendBits(tail);
+      BitString slow = head;
+      for (std::size_t i = 0; i < tail.size(); ++i) slow.pushBack(tail.bit(i));
+      ASSERT_EQ(fast, slow) << headBits << "+" << tailBits;
+    }
+  }
+}
+
+TEST(BitStringSbo, AppendSelfDoublesTheString) {
+  BitString b = BitString::fromString("1011001");
+  b.append(b);
+  EXPECT_EQ(b.toString(), "10110011011001");
+}
+
+TEST(BitStringSbo, PrefixSiblingMatchesPrefixThenSibling) {
+  const BitString b = patternedLabel(140);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{64},
+                              std::size_t{127}, std::size_t{128},
+                              std::size_t{129}, std::size_t{140}}) {
+    EXPECT_EQ(b.prefixSibling(n), b.prefix(n).sibling()) << n;
+  }
+}
+
+// --- Move contract (ISSUE 4 satellite) -------------------------------
+
+TEST(BitStringMove, MovesLeaveTheSourceEmptyInlineCase) {
+  BitString src = BitString::fromString("10110");
+  BitString dst = std::move(src);
+  EXPECT_EQ(dst.toString(), "10110");
+  // Documented contract: moved-from labels are empty, not unspecified.
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(src.toString(), "");
+  // And fully usable again.
+  src.pushBack(true);
+  EXPECT_EQ(src.toString(), "1");
+}
+
+TEST(BitStringMove, MovesLeaveTheSourceEmptyHeapCase) {
+  BitString src = patternedLabel(129);
+  const BitString expect = src;
+  BitString dst = std::move(src);
+  EXPECT_EQ(dst, expect);
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move)
+  src.pushBack(false);
+  EXPECT_EQ(src.toString(), "0");
+}
+
+TEST(BitStringMove, MoveAssignmentReleasesAndSteals) {
+  BitString a = patternedLabel(129);  // heap
+  BitString b = patternedLabel(200);  // heap, different content
+  const BitString expect = b;
+  a = std::move(b);
+  EXPECT_EQ(a, expect);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move)
+  // Self-move must be harmless.
+  BitString c = BitString::fromString("101");
+  BitString& cref = c;
+  c = std::move(cref);
+  EXPECT_EQ(c.toString(), "101");
+}
+
+// --- Memoized hash invalidation (ISSUE 4 satellite) ------------------
+//
+// hash64() caches its result; every mutator must drop the cache so a
+// mutated label hashes identically to a freshly built equal one.
+
+TEST(BitStringHashMemo, MutatorsInvalidateTheCachedHash) {
+  for (const std::size_t n :
+       {std::size_t{31}, std::size_t{127}, std::size_t{129}}) {
+    BitString b = patternedLabel(n);
+    (void)b.hash64();  // prime the cache
+
+    BitString viaSetBit = b;
+    (void)viaSetBit.hash64();
+    viaSetBit.setBit(n / 2, !viaSetBit.bit(n / 2));
+    BitString fresh = b;
+    fresh = b;  // rebuilt without a primed cache on the mutated form
+    {
+      BitString reference = patternedLabel(n);
+      reference.setBit(n / 2, !reference.bit(n / 2));
+      EXPECT_EQ(viaSetBit.hash64(), reference.hash64()) << n;
+      EXPECT_NE(viaSetBit.hash64(), b.hash64()) << n;
+    }
+
+    BitString viaPopBack = b;
+    (void)viaPopBack.hash64();
+    viaPopBack.popBack();
+    EXPECT_EQ(viaPopBack.hash64(), patternedLabel(n - 1).hash64()) << n;
+
+    BitString viaTruncate = b;
+    (void)viaTruncate.hash64();
+    viaTruncate.truncate(n / 2);
+    EXPECT_EQ(viaTruncate.hash64(), patternedLabel(n).prefix(n / 2).hash64())
+        << n;
+
+    BitString viaFlip = b;
+    (void)viaFlip.hash64();
+    viaFlip.flipBack();
+    EXPECT_EQ(viaFlip.hash64(), b.sibling().hash64()) << n;
+
+    BitString viaAppend = b;
+    (void)viaAppend.hash64();
+    viaAppend.pushBack(true);
+    BitString reference = patternedLabel(n);
+    reference.pushBack(true);
+    EXPECT_EQ(viaAppend.hash64(), reference.hash64()) << n;
+  }
+}
+
+TEST(BitStringHashMemo, CopiesCarryTheCacheCorrectly) {
+  BitString a = patternedLabel(90);
+  const std::uint64_t h = a.hash64();  // primes a's cache
+  BitString copied = a;                // cache travels with the copy
+  EXPECT_EQ(copied.hash64(), h);
+  copied.pushBack(true);  // ...but mutation still invalidates it
+  copied.popBack();
+  EXPECT_EQ(copied.hash64(), h);
+  BitString assigned;
+  assigned = a;
+  EXPECT_EQ(assigned.hash64(), h);
+}
+
 }  // namespace
 }  // namespace mlight::common

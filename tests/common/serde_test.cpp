@@ -105,5 +105,82 @@ TEST(Serde, RandomRecordsRoundTrip) {
   }
 }
 
+// The BitString wire format predates the small-buffer representation:
+// u32 bit count, then ceil(n/64) little-endian u64 words, LSB-first
+// within each word, tail bits zero.  Any label persisted or metered by
+// an older build must decode identically, so pin the exact bytes at the
+// SBO boundary lengths (127/128/129) plus a short label.
+TEST(Serde, BitStringEncodingIsByteCompatibleWithPreSboFormat) {
+  auto expectBytes = [](const BitString& b) {
+    // Independent re-derivation of the pre-SBO encoding from bit() only.
+    std::vector<std::uint8_t> expect;
+    const auto n = static_cast<std::uint32_t>(b.size());
+    for (int i = 0; i < 4; ++i) {
+      expect.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+    }
+    const std::size_t nwords = (b.size() + 63) / 64;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t word = 0;
+      for (std::size_t i = 0; i < 64 && w * 64 + i < b.size(); ++i) {
+        if (b.bit(w * 64 + i)) word |= std::uint64_t{1} << i;
+      }
+      for (int i = 0; i < 8; ++i) {
+        expect.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+      }
+    }
+    return expect;
+  };
+
+  Rng rng(99);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{13}, std::size_t{64}, std::size_t{127},
+        std::size_t{128}, std::size_t{129}}) {
+    BitString b;
+    for (std::size_t i = 0; i < n; ++i) b.pushBack(rng.chance(0.5));
+    Writer w;
+    w.writeBitString(b);
+    EXPECT_EQ(w.bytes(), expectBytes(b)) << n;
+    Reader r(w.bytes());
+    EXPECT_EQ(r.readBitString(), b) << n;
+    EXPECT_TRUE(r.atEnd());
+  }
+
+  // One fully hand-computed case: "1011" = word 0b1101 = 13.
+  Writer w;
+  w.writeBitString(BitString::fromString("1011"));
+  const std::vector<std::uint8_t> expect{4, 0, 0, 0,  // bit count
+                                         13, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(w.bytes(), expect);
+}
+
+TEST(Serde, WriterReuseCtorClearsButKeepsCapacity) {
+  Writer first;
+  first.writeString("warm up the buffer capacity");
+  std::vector<std::uint8_t> recycled = std::move(first).take();
+  const std::size_t cap = recycled.capacity();
+  Writer second(std::move(recycled));
+  EXPECT_EQ(second.size(), 0u);
+  second.writeU32(7);
+  const std::vector<std::uint8_t> expect{7, 0, 0, 0};
+  EXPECT_EQ(second.bytes(), expect);
+  EXPECT_GE(std::move(second).take().capacity(), cap);
+}
+
+TEST(Serde, ReadBytesIntoReusesTheBuffer) {
+  Writer w;
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  w.writeBytes(blob);
+  w.writeBytes({});
+  Reader r(w.bytes());
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  r.readBytesInto(out);
+  EXPECT_EQ(out, blob);
+  r.readBytesInto(out);  // empty blob: cleared, capacity retained
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(out.capacity(), 64u);
+  EXPECT_TRUE(r.atEnd());
+}
+
 }  // namespace
 }  // namespace mlight::common

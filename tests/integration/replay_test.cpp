@@ -45,12 +45,15 @@ struct RunResult {
   std::vector<std::size_t> queryAnswers;
   CostMeter total;
   double finalNow = 0.0;
+  std::size_t pooledBuffers = 0;  ///< parked buffers after the run
 };
 
 RunResult runWorkload(std::uint64_t seed, bool withFaults = false,
                       std::uint64_t faultSeed = 1,
-                      bool installDisabledModel = false) {
+                      bool installDisabledModel = false,
+                      bool bufferPooling = true) {
   Network net(48, seed);
+  net.setBufferPooling(bufferPooling);
   if (withFaults) {
     dht::FaultModel faults;
     faults.enabled = true;
@@ -104,8 +107,54 @@ RunResult runWorkload(std::uint64_t seed, bool withFaults = false,
 
   out.total = net.totalCost();
   out.finalNow = net.now();
+  out.pooledBuffers = net.pooledBufferCount();
   net.setRpcTrace({});
   return out;
+}
+
+/// Message-buffer pooling must be invisible to the simulation: the
+/// pooled and pool-disabled runs of the same workload produce
+/// byte-identical delivery timelines (every envelope field, route,
+/// payload size, and timestamp) and identical meters — the pool only
+/// changes where the host gets its transient vectors from.
+void expectIdenticalRuns(const RunResult& a, const RunResult& b) {
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.queryRounds, b.queryRounds);
+  EXPECT_EQ(a.queryLatency, b.queryLatency);
+  EXPECT_EQ(a.queryAnswers, b.queryAnswers);
+  EXPECT_EQ(a.total.lookups, b.total.lookups);
+  EXPECT_EQ(a.total.hops, b.total.hops);
+  EXPECT_EQ(a.total.bytesMoved, b.total.bytesMoved);
+  EXPECT_EQ(a.total.recordsMoved, b.total.recordsMoved);
+  EXPECT_EQ(a.total.messages, b.total.messages);
+  EXPECT_EQ(a.total.retries, b.total.retries);
+  EXPECT_DOUBLE_EQ(a.finalNow, b.finalNow);
+}
+
+TEST(Replay, BufferPoolingIsTimelineInvisible) {
+  const RunResult pooled = runWorkload(2009);
+  const RunResult unpooled = runWorkload(2009, /*withFaults=*/false,
+                                         /*faultSeed=*/1,
+                                         /*installDisabledModel=*/false,
+                                         /*bufferPooling=*/false);
+  // The pooled run must actually have recycled buffers (otherwise this
+  // test compares pooling with itself), the unpooled run must not.
+  EXPECT_GT(pooled.pooledBuffers, 0u);
+  EXPECT_EQ(unpooled.pooledBuffers, 0u);
+  expectIdenticalRuns(pooled, unpooled);
+}
+
+TEST(Replay, BufferPoolingIsTimelineInvisibleUnderFaults) {
+  // The fault path shares deliver() with the fault-free path; loss,
+  // jitter, retries, and failover must be untouched by pooling too.
+  const RunResult pooled = runWorkload(2009, /*withFaults=*/true,
+                                       /*faultSeed=*/7);
+  const RunResult unpooled = runWorkload(2009, /*withFaults=*/true,
+                                         /*faultSeed=*/7,
+                                         /*installDisabledModel=*/false,
+                                         /*bufferPooling=*/false);
+  expectIdenticalRuns(pooled, unpooled);
 }
 
 TEST(Replay, SameSeedReproducesTheTimelineExactly) {
