@@ -48,7 +48,9 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 MICRO_JSON="$TMP_DIR/micro.json"
 WALL_LOG="$TMP_DIR/wallclock.txt"
+CACHE_LOG="$TMP_DIR/cache.txt"
 : > "$WALL_LOG"
+: > "$CACHE_LOG"
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
@@ -62,6 +64,7 @@ for b in "$BUILD_DIR"/bench/*; do
     *)
       "$b" ${QUICK:+"$QUICK"} | tee "$TMP_DIR/out.txt"
       grep '^##WALLCLOCK ' "$TMP_DIR/out.txt" >> "$WALL_LOG" || true
+      grep '^##CACHE ' "$TMP_DIR/out.txt" >> "$CACHE_LOG" || true
       ;;
   esac
 done
@@ -73,6 +76,7 @@ if command -v jq > /dev/null 2>&1; then
   jq -n \
     --slurpfile micro_doc "$MICRO_JSON" \
     --rawfile wall "$WALL_LOG" \
+    --rawfile cache "$CACHE_LOG" \
     --arg quick "${QUICK:-}" \
     '{
        quick: ($quick != ""),
@@ -84,6 +88,11 @@ if command -v jq > /dev/null 2>&1; then
           | add // {}),
        end_to_end_seconds:
          ($wall | split("\n")
+          | map(select(length > 0) | split(" ")
+                | {(.[1]): (.[2] | tonumber)})
+          | add // {}),
+       cache:
+         ($cache | split("\n")
           | map(select(length > 0) | split(" ")
                 | {(.[1]): (.[2] | tonumber)})
           | add // {})

@@ -1,0 +1,72 @@
+#include "cache/hint_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mlight::cache {
+
+bool cacheEnabledFromEnv(bool fallback) noexcept {
+  const char* env = std::getenv("MLIGHT_CACHE");
+  if (env == nullptr || *env == '\0') return fallback;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "false") == 0) {
+    return false;
+  }
+  return true;
+}
+
+const LabelHint* LabelHintCache::findCovering(const Label& fullPath) {
+  // Deepest-first over the lengths that are actually populated: the
+  // deepest covering hint is the one whose direct probe skips the most
+  // binary-search levels, and after a merge it is the one whose
+  // staleness we want to detect (and forget) rather than silently
+  // shadow with an ancestor.
+  const std::size_t maxLen =
+      std::min(fullPath.size() + 1, lengthCount_.size());
+  for (std::size_t len = maxLen; len-- > 0;) {
+    if (lengthCount_[len] == 0) continue;
+    auto it = byLeaf_.find(fullPath.prefix(len));
+    if (it == byLeaf_.end()) continue;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &*it->second;
+  }
+  return nullptr;
+}
+
+void LabelHintCache::learn(const Label& leaf, std::uint32_t depth) {
+  if (capacity_ == 0) return;
+  auto it = byLeaf_.find(leaf);
+  if (it != byLeaf_.end()) {
+    it->second->depth = depth;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    const LabelHint& victim = lru_.back();
+    dropLength(victim.leaf.size());
+    byLeaf_.erase(victim.leaf);
+    lru_.pop_back();
+  }
+  lru_.push_front(LabelHint{leaf, depth});
+  byLeaf_.emplace(leaf, lru_.begin());
+  bumpLength(leaf.size());
+}
+
+void LabelHintCache::forget(const Label& leaf) {
+  auto it = byLeaf_.find(leaf);
+  if (it == byLeaf_.end()) return;
+  dropLength(leaf.size());
+  lru_.erase(it->second);
+  byLeaf_.erase(it);
+}
+
+void LabelHintCache::bumpLength(std::size_t len) {
+  if (len >= lengthCount_.size()) lengthCount_.resize(len + 1, 0);
+  ++lengthCount_[len];
+}
+
+void LabelHintCache::dropLength(std::size_t len) {
+  --lengthCount_[len];
+}
+
+}  // namespace mlight::cache

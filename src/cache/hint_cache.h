@@ -1,0 +1,164 @@
+// Lookup-hint caching for over-DHT indexes.
+//
+// m-LIGHT's point lookup pays ~ceil(log2 D) sequential DHT-lookups (the
+// §5 binary search over label prefixes) on every operation, yet the tree
+// depth along a client's hot region barely moves between queries.  A
+// LabelHintCache remembers, per initiating peer, the last observed leaf
+// label (and its local tree depth) for every cell the peer has touched,
+// so the next lookup of a covered point issues a single direct probe and
+// only falls back to a *seeded* binary search when the probe discovers
+// the hint went stale (a split or merge moved the leaf).
+//
+// Design rules:
+//  * hints are advisory, never authoritative — staleness is detected at
+//    the probed owner (the bucket found there is off the point's path,
+//    or no bucket is stored under the key any more) and repaired in
+//    place by the regular search seeded from the hint's depth.  There is
+//    no invalidation protocol to get wrong under churn; a stale hint
+//    costs O(log Δdepth) extra probes, never a wrong answer;
+//  * the cache is bounded (LRU, per-dimension capacity) so a client
+//    scanning the whole space cannot grow memory without limit;
+//  * hints serialize through the shared serde layer: the hint-probe RPC
+//    carries the tested hint on the wire so the owner-side verdict works
+//    from the wire copy like every other handler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/serde.h"
+
+namespace mlight::cache {
+
+/// One cached resolution: the leaf label last seen covering a cell plus
+/// the local tree depth observed with it.  `depth` is the index's own
+/// depth notion (edge depth for m-LIGHT labels, prefix length for PHT
+/// tries) — the cache never interprets it, it only stores and ships it.
+struct LabelHint {
+  mlight::common::BitString leaf;
+  std::uint32_t depth = 0;
+
+  std::size_t wireSize() const noexcept {
+    return 4 + 8 * ((leaf.size() + 63) / 64) + 4;
+  }
+  void serialize(mlight::common::Writer& w) const {
+    w.writeBitString(leaf);
+    w.writeU32(depth);
+  }
+  static LabelHint deserialize(mlight::common::Reader& r) {
+    LabelHint h;
+    h.leaf = r.readBitString();
+    h.depth = r.readU32();
+    return h;
+  }
+};
+
+/// Reads the MLIGHT_CACHE environment variable: "0" / "off" / "false"
+/// disable, any other non-empty value enables, unset/empty falls back —
+/// how CI runs whole suites cache-on without touching code (same pattern
+/// as dht::faultSeedFromEnv).
+bool cacheEnabledFromEnv(bool fallback = false) noexcept;
+
+/// Cache knobs shared by every index backend.  Off by default (the
+/// cache-off path must stay bit-identical to a build without the cache
+/// subsystem — goldens, replay suites) unless MLIGHT_CACHE turns whole
+/// runs on from the environment.
+struct CachePolicy {
+  bool enabled = cacheEnabledFromEnv(false);
+  /// LRU bound per data dimension: a cache holds at most
+  /// perDimCapacity * dims hints (deeper trees in higher dimensions get
+  /// proportionally more room).
+  std::size_t perDimCapacity = 1024;
+};
+
+/// Bounded LRU of LabelHints keyed by the observed leaf label.
+///
+/// Lookup is by *coverage*: findCovering(fullPath) returns the deepest
+/// cached hint whose leaf label is a prefix of the query point's full
+/// path label.  Cells are fixed geometry, so a covering label observed
+/// for any point of the cell stays on the path of every point of the
+/// cell forever — only its leaf-ness can go stale.  The walk probes
+/// candidate prefix lengths deepest-first, skipping lengths for which
+/// the cache holds no hint at all (a per-length occupancy count), so a
+/// miss costs O(distinct hint lengths), not O(path length) hash lookups.
+class LabelHintCache {
+ public:
+  using Label = mlight::common::BitString;
+
+  LabelHintCache(std::size_t dims, const CachePolicy& policy)
+      : capacity_(policy.perDimCapacity * dims) {}
+
+  std::size_t size() const noexcept { return lru_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Deepest cached hint covering `fullPath` (nullptr on miss).  Touches
+  /// the hint's LRU position.  The pointer is invalidated by the next
+  /// learn/forget call — callers copy the hint before repairing.
+  const LabelHint* findCovering(const Label& fullPath);
+
+  /// Records (or refreshes) the hint for `leaf`; evicts the
+  /// least-recently-used hint when full.
+  void learn(const Label& leaf, std::uint32_t depth);
+
+  /// Drops the hint for `leaf`, if cached.  Called on stale detection:
+  /// a repaired lookup must forget the old leaf before learning the new
+  /// one, or a dead deeper label would keep shadowing the live shallower
+  /// one in findCovering after a merge.
+  void forget(const Label& leaf);
+
+  /// Test hook: inject a hint verbatim (poisoned-hint negative tests).
+  void poison(const Label& leaf, std::uint32_t depth) { learn(leaf, depth); }
+
+ private:
+  std::size_t capacity_;
+  /// Most-recently-used at the front.
+  std::list<LabelHint> lru_;
+  std::unordered_map<Label, std::list<LabelHint>::iterator,
+                     mlight::common::BitStringHash>
+      byLeaf_;
+  /// lengthCount_[len] = number of cached hints with leaf.size() == len.
+  std::vector<std::uint32_t> lengthCount_;
+
+  void bumpLength(std::size_t len);
+  void dropLength(std::size_t len);
+};
+
+/// Per-peer hint caches: hints belong to the *initiating* peer of the
+/// query that observed them (a client-side cache — what a deployed node
+/// would keep next to its DHT routing table).  Keyed by raw ring
+/// position value so this layer stays independent of the dht module.
+class HintCacheSet {
+ public:
+  HintCacheSet(std::size_t dims, CachePolicy policy)
+      : dims_(dims), policy_(policy) {}
+
+  const CachePolicy& policy() const noexcept { return policy_; }
+  bool enabled() const noexcept { return policy_.enabled; }
+
+  LabelHintCache& forPeer(std::uint64_t peer) {
+    auto it = caches_.find(peer);
+    if (it == caches_.end()) {
+      it = caches_.emplace(peer, LabelHintCache(dims_, policy_)).first;
+    }
+    return it->second;
+  }
+
+  /// Total hints cached across all peers (introspection).
+  std::size_t totalHints() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [peer, cache] : caches_) n += cache.size();
+    return n;
+  }
+  std::size_t peerCount() const noexcept { return caches_.size(); }
+
+ private:
+  std::size_t dims_;
+  CachePolicy policy_;
+  std::unordered_map<std::uint64_t, LabelHintCache> caches_;
+};
+
+}  // namespace mlight::cache

@@ -265,4 +265,27 @@ void auditRingOrder(std::span<const std::uint64_t> ringPositions) {
   detail::passAudit();
 }
 
+void auditCacheCoherence(const BitString& cachedLeaf,
+                         const BitString& uncachedLeaf) {
+  detail::beginAudit();
+  if (cachedLeaf != uncachedLeaf) {
+    detail::failAudit("auditCacheCoherence",
+                      "cached lookup resolved to leaf " +
+                          cachedLeaf.toString() +
+                          " but the uncached binary search finds " +
+                          uncachedLeaf.toString());
+  }
+  detail::passAudit();
+}
+
+void auditLookupSearchBounds(std::size_t lo, std::size_t hi) {
+  detail::beginAudit();
+  if (lo > hi) {
+    detail::failAudit("auditLookupSearchBounds",
+                      "binary search lost the target: lo " +
+                          std::to_string(lo) + " > hi " + std::to_string(hi));
+  }
+  detail::passAudit();
+}
+
 }  // namespace mlight::common

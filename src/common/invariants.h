@@ -168,4 +168,23 @@ void auditReplicaHolders(std::span<const std::uint64_t> holders,
 // the predecessor mapping and finger construction assume it.  O(n).
 void auditRingOrder(std::span<const std::uint64_t> ringPositions);
 
+// --- Lookup cache: hint coherence ----------------------------------------
+//
+// A cached lookup (direct hit or stale-hint repair) must resolve to the
+// exact leaf the uncached §5 binary search would find — hints may only
+// save probes, never change answers.  Call sites gate on kParanoid (the
+// oracle search is a full extra walk per lookup).  O(1) given both
+// labels.
+void auditCacheCoherence(const BitString& cachedLeaf,
+                         const BitString& uncachedLeaf);
+
+// --- Lookup search: bound sanity -----------------------------------------
+//
+// The binary search over candidate edge depths maintains lo <= hi at
+// every cut; losing the target means a probe's verdict contradicted the
+// tree structure (or a hint repair mis-seeded the window).  Always-on
+// O(1) — this replaces the old bare `assert`, so the guard survives
+// release builds and reports through the audit counters.
+void auditLookupSearchBounds(std::size_t lo, std::size_t hi);
+
 }  // namespace mlight::common

@@ -32,6 +32,15 @@ struct CostMeter {
   /// adds one lookup + hops; `messages` is *not* incremented again (it
   /// counts logical envelopes, see docs/COST_MODEL.md "Fault model").
   std::uint64_t retries = 0;
+  /// Hint probes that landed on a live leaf covering the query point: the
+  /// whole binary search collapsed to the one lookup already counted in
+  /// `lookups` (cacheHits never adds lookups of its own — see
+  /// docs/COST_MODEL.md "Lookup cache").
+  std::uint64_t cacheHits = 0;
+  /// Hint probes that found their leaf gone (split/merge moved it); each
+  /// one pays the probe plus an O(log Δdepth) seeded repair search, all
+  /// metered in `lookups` as usual.
+  std::uint64_t staleHints = 0;
 
   CostMeter& operator+=(const CostMeter& other) noexcept {
     lookups += other.lookups;
@@ -40,6 +49,8 @@ struct CostMeter {
     recordsMoved += other.recordsMoved;
     messages += other.messages;
     retries += other.retries;
+    cacheHits += other.cacheHits;
+    staleHints += other.staleHints;
     return *this;
   }
 
@@ -50,6 +61,8 @@ struct CostMeter {
     a.recordsMoved -= b.recordsMoved;
     a.messages -= b.messages;
     a.retries -= b.retries;
+    a.cacheHits -= b.cacheHits;
+    a.staleHints -= b.staleHints;
     return a;
   }
 };

@@ -309,6 +309,20 @@ class Network {
 
   const CostMeter& totalCost() const noexcept { return total_; }
 
+  /// Meters a hint probe that resolved the lookup in one shot.  The
+  /// probe's lookup/hops/message were already counted by sendRpc; these
+  /// note only the cache outcome, so cacheHits/staleHints never double
+  /// into `lookups`.
+  void noteCacheHit() noexcept {
+    ++total_.cacheHits;
+    if (meter_ != nullptr) ++meter_->cacheHits;
+  }
+  /// Meters a hint probe that found its leaf gone (repair follows).
+  void noteStaleHint() noexcept {
+    ++total_.staleHints;
+    if (meter_ != nullptr) ++meter_->staleHints;
+  }
+
   /// Maximum hops observed over all lookups so far (sanity: O(log n)).
   std::size_t maxHopsSeen() const noexcept { return maxHops_; }
 

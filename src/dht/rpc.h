@@ -28,6 +28,12 @@ enum class RpcKind : std::uint8_t {
   kPut = 2,    ///< Store a serialized bucket at the owner.
   kVisit = 3,  ///< Run arbitrary logic at the owner (read-modify-write).
   kResponse = 4,
+  /// Direct probe of a cached label hint: the body carries the probe key
+  /// plus the hint under test; the owner-side verdict (leaf here / stale)
+  /// comes back with the repair depth.  Travels and meters exactly like
+  /// kGet — one DHT-lookup — but is its own verb so traces and dead
+  /// letters distinguish hint traffic from search probes.
+  kHintProbe = 5,
 };
 
 struct RpcEnvelope {

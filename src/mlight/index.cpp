@@ -20,7 +20,8 @@ MLightIndex::MLightIndex(mlight::dht::Network& net, MLightConfig config)
       config_(std::move(config)),
       store_(net, config_.dhtNamespace, config_.replication,
              config_.repair),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      hintCaches_(config_.dims, config_.cache) {
   if (config_.dims < 1 || config_.dims > mlight::common::kMaxDims) {
     throw std::invalid_argument("MLightIndex: dims out of range");
   }
@@ -65,7 +66,7 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
     if (std::find(probedKeys.begin(), probedKeys.end(), key) !=
         probedKeys.end()) {
       lo = t + 1;
-      assert(lo <= hi && "lookup binary search lost the target");
+      mlight::common::auditLookupSearchBounds(lo, hi);
       continue;
     }
     const auto found = store_.routeAndFind(
@@ -106,8 +107,180 @@ MLightIndex::Located MLightIndex::locate(mlight::dht::RingId initiator,
       // in (edgeDepth(key), t] shares the same name, so none is the leaf.
       lo = t + 1;
     }
-    assert(lo <= hi && "lookup binary search lost the target");
+    mlight::common::auditLookupSearchBounds(lo, hi);
   }
+}
+
+MLightIndex::Located MLightIndex::locateCached(mlight::dht::RingId initiator,
+                                               const Point& p,
+                                               std::size_t hiCap,
+                                               std::uint32_t roundBase) {
+  if (!config_.cache.enabled) return locate(initiator, p, hiCap, roundBase);
+  const std::size_t m = config_.dims;
+  const Label full = pointPathLabel(p, m, config_.maxEdgeDepth);
+  mlight::cache::LabelHintCache& cache = hintCaches_.forPeer(initiator.value);
+  const mlight::cache::LabelHint* cached = cache.findCovering(full);
+  if (cached == nullptr) {
+    // Cold cell: the plain §5 search, plus learning its answer.
+    Located loc = locate(initiator, p, hiCap, roundBase);
+    if (!loc.leaf.empty()) {
+      cache.learn(loc.leaf, static_cast<std::uint32_t>(
+                                edgeDepth(loc.leaf, m)));
+    }
+    return loc;
+  }
+  // Copy before any repair: learn/forget below invalidate the pointer.
+  const mlight::cache::LabelHint used = *cached;
+  std::size_t lo = 0;
+  std::size_t hi = std::min(config_.maxEdgeDepth, hiCap);
+  // A caller-capped window (the range query's NULL-at-LCA fallback)
+  // already proves the leaf is shallow; clamp a deeper hint to it — any
+  // on-path probe depth is sound, so the clamped probe still verifies
+  // or refutes the hint.
+  const std::size_t t0 = std::min<std::size_t>(used.depth, hi);
+  const Label probeKey = full.prefix(namedPrefixLength(full, m + 1 + t0, m));
+  Located result;
+  // The hint crosses the wire with the probe so the owner-side verdict
+  // works from the wire copy, like every other handler.
+  mlight::common::Writer hintWire(net_->acquireBuffer());
+  used.serialize(hintWire);
+  const auto probed = store_.hintProbeAndFind(
+      initiator, probeKey, std::move(hintWire).take(), roundBase);
+  if (probed.failed) {
+    // Unreachable probe (crash loss / exhausted retries): same give-up
+    // contract as locate() — callers detect the empty leaf.
+    return result;
+  }
+  ++result.probes;
+  result.ms += probed.ms;
+  if (trace_ != nullptr) {
+    trace_->push_back(TraceEvent{
+        result.probes, probeKey,
+        probed.bucket != nullptr ? probed.bucket->label : Label{},
+        probed.bucket != nullptr});
+  }
+  if (probed.bucket != nullptr && probed.bucket->label.isPrefixOf(full)) {
+    // Live hint: the whole binary search collapsed into this one probe.
+    // The leaf found may still differ from the remembered label — after
+    // a split one child keeps the parent's DHT key (Theorem 5), so the
+    // stale *label* resolves in one probe anyway; refresh it.
+    net_->noteCacheHit();
+    result.key = probeKey;
+    result.leaf = probed.bucket->label;
+    result.owner = probed.owner;
+    if (result.leaf != used.leaf) cache.forget(used.leaf);
+    cache.learn(result.leaf,
+                static_cast<std::uint32_t>(edgeDepth(result.leaf, m)));
+    if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
+      mlight::common::auditCacheCoherence(result.leaf,
+                                          uncachedLeafOracle(full, hiCap));
+    }
+    return result;
+  }
+  // Stale hint: the probed peer no longer holds an on-path leaf under
+  // this key (split/merge moved it).  Forget it and repair in place —
+  // the §5 search continues inside the window the failed probe already
+  // cut, so a hint that drifted by Δdepth levels costs O(log Δdepth)
+  // extra probes, never a wrong answer.
+  net_->noteStaleHint();
+  cache.forget(used.leaf);
+  std::vector<Label> probedKeys{probeKey};
+  bool gallop = false;
+  std::size_t step = 1;
+  if (probed.bucket == nullptr) {
+    // The tree got shallower here (merge): the leaf is no deeper than
+    // the probe key's edge depth — the standard NULL cut.
+    mlight::common::auditLookupSearchBounds(m + 1, probeKey.size());
+    hi = edgeDepth(probeKey, m);
+  } else {
+    // The tree grew below the hint (split): the leaf is deeper than t0.
+    // Gallop upward from the hint instead of bisecting the whole
+    // remaining window — splits move depth by a few levels, so the
+    // target is almost always just past the hint.
+    lo = t0 + 1;
+    gallop = true;
+  }
+  mlight::common::auditLookupSearchBounds(lo, hi);
+  for (;;) {
+    std::size_t t;
+    if (gallop) {
+      t = std::min(lo + step - 1, hi);
+      step *= 2;
+      if (t == hi) gallop = false;  // window exhausted: bisect from here
+    } else {
+      t = lo + (hi - lo) / 2;
+    }
+    const Label key = full.prefix(namedPrefixLength(full, m + 1 + t, m));
+    if (std::find(probedKeys.begin(), probedKeys.end(), key) !=
+        probedKeys.end()) {
+      lo = t + 1;
+      mlight::common::auditLookupSearchBounds(lo, hi);
+      continue;
+    }
+    const auto found = store_.routeAndFind(
+        initiator, key,
+        roundBase + static_cast<std::uint32_t>(result.probes));
+    if (found.failed) {
+      result.key = Label{};
+      result.leaf = Label{};
+      return result;
+    }
+    probedKeys.push_back(key);
+    ++result.probes;
+    result.ms += found.ms;
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{
+          result.probes, key,
+          found.bucket != nullptr ? found.bucket->label : Label{},
+          found.bucket != nullptr});
+    }
+    if (found.bucket == nullptr) {
+      hi = edgeDepth(key, m);
+      gallop = false;  // the depth direction reversed: bisect
+    } else if (found.bucket->label.isPrefixOf(full)) {
+      result.key = key;
+      result.leaf = found.bucket->label;
+      result.owner = found.owner;
+      cache.learn(result.leaf,
+                  static_cast<std::uint32_t>(edgeDepth(result.leaf, m)));
+      if (mlight::common::auditEnabled(
+              mlight::common::AuditLevel::kParanoid)) {
+        mlight::common::auditCacheCoherence(
+            result.leaf, uncachedLeafOracle(full, hiCap));
+      }
+      return result;
+    } else {
+      lo = t + 1;
+    }
+    mlight::common::auditLookupSearchBounds(lo, hi);
+  }
+}
+
+MLightIndex::Label MLightIndex::uncachedLeafOracle(const Label& full,
+                                                   std::size_t hiCap) const {
+  const std::size_t m = config_.dims;
+  std::size_t lo = 0;
+  std::size_t hi = std::min(config_.maxEdgeDepth, hiCap);
+  std::vector<Label> probedKeys;
+  while (lo <= hi) {
+    const std::size_t t = lo + (hi - lo) / 2;
+    const Label key = full.prefix(namedPrefixLength(full, m + 1 + t, m));
+    if (std::find(probedKeys.begin(), probedKeys.end(), key) !=
+        probedKeys.end()) {
+      lo = t + 1;
+      continue;
+    }
+    probedKeys.push_back(key);
+    const LeafBucket* bucket = store_.peek(key);
+    if (bucket == nullptr) {
+      hi = edgeDepth(key, m);
+    } else if (bucket->label.isPrefixOf(full)) {
+      return bucket->label;
+    } else {
+      lo = t + 1;
+    }
+  }
+  return Label{};
 }
 
 MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
@@ -146,7 +319,7 @@ MLightIndex::LookupResult MLightIndex::lookup(const Point& key) {
   const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
-  const Located loc = locate(randomPeer(), key);
+  const Located loc = locateCached(randomPeer(), key);
   LookupResult out;
   out.leaf = loc.leaf;
   out.stats.cost = meter;
@@ -164,7 +337,7 @@ void MLightIndex::insert(const Record& record) {
     throw std::invalid_argument("insert: wrong dimensionality");
   }
   const auto initiator = randomPeer();
-  const Located loc = locate(initiator, record.key);
+  const Located loc = locateCached(initiator, record.key);
   if (loc.leaf.empty()) {
     // The leaf (or a probe on the way to it) was unreachable — crash
     // loss with R too small, or every retry exhausted.  The record is
@@ -197,7 +370,7 @@ void MLightIndex::insert(const Record& record) {
 
 std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
   const auto initiator = randomPeer();
-  const Located loc = locate(initiator, key);
+  const Located loc = locateCached(initiator, key);
   if (loc.leaf.empty()) return 0;  // leaf unreachable (see insert)
   LeafBucket* bucket = store_.peek(loc.key);
   assert(bucket != nullptr);
@@ -226,7 +399,7 @@ mlight::index::PointResult MLightIndex::pointQuery(const Point& key) {
   const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
-  const Located loc = locate(randomPeer(), key);
+  const Located loc = locateCached(randomPeer(), key);
   mlight::index::PointResult out;
   if (!loc.leaf.empty()) {
     const LeafBucket* bucket = store_.peek(loc.key);
@@ -287,7 +460,7 @@ std::size_t MLightIndex::estimateDepthByProbing(std::size_t samples,
   for (std::size_t i = 0; i < samples; ++i) {
     Point p(config_.dims);
     for (std::size_t d = 0; d < config_.dims; ++d) p[d] = rng_.uniform();
-    const Located loc = locate(randomPeer(), p);
+    const Located loc = locateCached(randomPeer(), p);
     deepest = std::max(deepest, edgeDepth(loc.leaf, config_.dims));
   }
   return std::min(config_.maxEdgeDepth, deepest + headroom);

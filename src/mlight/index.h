@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/hint_cache.h"
 #include "common/bitstring.h"
 #include "common/geometry.h"
 #include "common/rng.h"
@@ -61,6 +62,13 @@ struct MLightConfig {
   std::uint64_t seed = 42;
   /// Namespace for this index's keys in the shared DHT key space.
   std::string dhtNamespace = "mlight/";
+  /// Per-peer label-hint cache (src/cache): with `cache.enabled` every
+  /// point operation first probes the last leaf observed for the query's
+  /// cell (1 DHT-lookup on a hit) and falls back to the §5 binary
+  /// search, seeded from the hint, when the hint went stale.  Disabled
+  /// by default (unless MLIGHT_CACHE is set) — the disabled path is
+  /// bit-identical to a build without the cache.
+  mlight::cache::CachePolicy cache;
 };
 
 class MLightIndex final : public mlight::index::IndexBase {
@@ -203,6 +211,10 @@ class MLightIndex final : public mlight::index::IndexBase {
     return store_;
   }
 
+  /// The per-peer hint caches (test/bench hook: poisoned-hint negative
+  /// tests inject wrong labels here; benches read hint counts).
+  mlight::cache::HintCacheSet& hintCaches() noexcept { return hintCaches_; }
+
  private:
   struct Located {
     Label key;    ///< DHT key of the leaf bucket (= f_md(leaf)).
@@ -222,6 +234,22 @@ class MLightIndex final : public mlight::index::IndexBase {
   Located locate(mlight::dht::RingId initiator, const Point& p,
                  std::size_t hiCap = static_cast<std::size_t>(-1),
                  std::uint32_t roundBase = 1);
+
+  /// Cache-aware locate: with the hint cache enabled, probes the deepest
+  /// cached leaf covering `p` first (one kHintProbe DHT-lookup on a
+  /// live hint, metered as CostMeter::cacheHits) and repairs stale hints
+  /// in place with a search seeded from the hint's depth (metered as
+  /// staleHints).  With the cache disabled this *is* locate() — same
+  /// probes, same rounds, same trace.
+  Located locateCached(mlight::dht::RingId initiator, const Point& p,
+                       std::size_t hiCap = static_cast<std::size_t>(-1),
+                       std::uint32_t roundBase = 1);
+
+  /// Unmetered replica of the §5 binary search over peek() — the
+  /// paranoid-audit oracle proving a cached lookup resolved to the same
+  /// leaf the uncached search finds.  Empty label when the search dead-
+  /// ends (possible only on a structurally broken tree).
+  Label uncachedLeafOracle(const Label& full, std::size_t hiCap) const;
 
   mlight::dht::RingId randomPeer();
 
@@ -254,6 +282,7 @@ class MLightIndex final : public mlight::index::IndexBase {
   MLightConfig config_;
   mlight::store::DistributedStore<LeafBucket> store_;
   mlight::common::Rng rng_;
+  mlight::cache::HintCacheSet hintCaches_;
   std::size_t failedInserts_ = 0;
   MaintenanceBreakdown breakdown_;
   std::vector<TraceEvent>* trace_ = nullptr;

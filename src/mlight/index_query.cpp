@@ -130,6 +130,15 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
   // or an 8-byte count) from the bucket's owner back to the initiator.
   const auto harvest = [&](const LeafBucket& bucket, const Rect& scopeRect,
                            mlight::dht::RingId owner) {
+    if (config_.cache.enabled) {
+      // Range queries are the cheap way to warm the lookup cache: every
+      // leaf the cascade touches becomes a hint for the *initiating*
+      // peer, so later point operations in the queried region start
+      // from a direct probe.
+      hintCaches_.forPeer(initiator.value)
+          .learn(bucket.label, static_cast<std::uint32_t>(
+                                   edgeDepth(bucket.label, config_.dims)));
+    }
     std::vector<mlight::index::Record> hits;
     collectInRegion(bucket, scopeRect, region, hits);
     countOut += hits.size();
@@ -230,11 +239,11 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
     // failed probe already proved the leaf is no deeper than f_md(ω);
     // the sequential probes continue the chain at round 2.
     const Located loc =
-        locate(first.owner, clipped.lo(),
-               omegaKey.size() >= config_.dims + 1
-                   ? edgeDepth(omegaKey, config_.dims)
-                   : std::size_t{0},
-               /*roundBase=*/2);
+        locateCached(first.owner, clipped.lo(),
+                     omegaKey.size() >= config_.dims + 1
+                         ? edgeDepth(omegaKey, config_.dims)
+                         : std::size_t{0},
+                     /*roundBase=*/2);
     if (!loc.leaf.empty()) {
       const LeafBucket* bucket = store_.peek(loc.key);
       assert(bucket != nullptr);

@@ -30,7 +30,8 @@ PhtIndex::PhtIndex(mlight::dht::Network& net, PhtConfig config)
     : net_(&net),
       config_(std::move(config)),
       store_(net, config_.dhtNamespace),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      hintCaches_(config_.dims, config_.cache) {
   if (config_.dims < 1 || config_.dims > mlight::common::kMaxDims) {
     throw std::invalid_argument("PhtIndex: dims out of range");
   }
@@ -69,7 +70,7 @@ PhtIndex::Located PhtIndex::locate(mlight::dht::RingId initiator,
     if (found.bucket == nullptr) {
       // PHT probes learn only about the probed length: the prefix does
       // not exist, so the leaf is strictly shorter.
-      assert(t > 0 && "trie root must exist");
+      mlight::common::auditLookupSearchBounds(1, t);  // trie root exists
       hi = t - 1;
     } else if (found.bucket->isLeaf) {
       result.leaf = candidate;
@@ -78,8 +79,125 @@ PhtIndex::Located PhtIndex::locate(mlight::dht::RingId initiator,
     } else {
       lo = t + 1;
     }
-    assert(lo <= hi && "PHT binary search lost the target");
+    mlight::common::auditLookupSearchBounds(lo, hi);
   }
+}
+
+PhtIndex::Located PhtIndex::locateCached(mlight::dht::RingId initiator,
+                                         const Point& p,
+                                         std::uint32_t roundBase) {
+  if (!config_.cache.enabled) return locate(initiator, p, roundBase);
+  const Label full = interleave(p, config_.maxDepth);
+  mlight::cache::LabelHintCache& cache = hintCaches_.forPeer(initiator.value);
+  const mlight::cache::LabelHint* cached = cache.findCovering(full);
+  if (cached == nullptr) {
+    Located loc = locate(initiator, p, roundBase);
+    if (!loc.failed) {
+      cache.learn(loc.leaf, static_cast<std::uint32_t>(loc.leaf.size()));
+    }
+    return loc;
+  }
+  const mlight::cache::LabelHint used = *cached;  // copy: repair mutates
+  std::size_t lo = 0;
+  std::size_t hi = config_.maxDepth;
+  const std::size_t t0 = std::min<std::size_t>(used.depth, hi);
+  const Label probeLabel = full.prefix(t0);
+  Located result;
+  mlight::common::Writer hintWire(net_->acquireBuffer());
+  used.serialize(hintWire);
+  const auto probed = store_.hintProbeAndFind(
+      initiator, probeLabel, std::move(hintWire).take(), roundBase);
+  if (probed.failed) {
+    result.failed = true;
+    return result;
+  }
+  ++result.probes;
+  result.ms += probed.ms;
+  if (probed.bucket != nullptr && probed.bucket->isLeaf) {
+    // Live hint: the prefix still exists and is still a leaf.
+    net_->noteCacheHit();
+    result.leaf = probeLabel;
+    result.owner = probed.owner;
+    cache.learn(result.leaf, static_cast<std::uint32_t>(result.leaf.size()));
+    if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
+      mlight::common::auditCacheCoherence(result.leaf,
+                                          uncachedLeafOracle(full));
+    }
+    return result;
+  }
+  // Stale hint: the prefix vanished (merge pruned it) or turned into an
+  // internal routing marker (split).  Repair with the prefix search
+  // seeded from the hint's length.
+  net_->noteStaleHint();
+  cache.forget(used.leaf);
+  bool gallop = false;
+  std::size_t step = 1;
+  if (probed.bucket == nullptr) {
+    mlight::common::auditLookupSearchBounds(1, t0);  // trie root exists
+    hi = t0 - 1;
+  } else {
+    lo = t0 + 1;
+    gallop = true;  // splits deepen by a few levels: creep up from t0
+  }
+  mlight::common::auditLookupSearchBounds(lo, hi);
+  for (;;) {
+    std::size_t t;
+    if (gallop) {
+      t = std::min(lo + step - 1, hi);
+      step *= 2;
+      if (t == hi) gallop = false;
+    } else {
+      t = lo + (hi - lo) / 2;
+    }
+    const Label candidate = full.prefix(t);
+    const auto found = store_.routeAndFind(
+        initiator, candidate,
+        roundBase + static_cast<std::uint32_t>(result.probes));
+    if (found.failed) {
+      result.failed = true;
+      return result;
+    }
+    ++result.probes;
+    result.ms += found.ms;
+    if (found.bucket == nullptr) {
+      mlight::common::auditLookupSearchBounds(1, t);
+      hi = t - 1;
+      gallop = false;
+    } else if (found.bucket->isLeaf) {
+      result.leaf = candidate;
+      result.owner = found.owner;
+      cache.learn(result.leaf,
+                  static_cast<std::uint32_t>(result.leaf.size()));
+      if (mlight::common::auditEnabled(
+              mlight::common::AuditLevel::kParanoid)) {
+        mlight::common::auditCacheCoherence(result.leaf,
+                                            uncachedLeafOracle(full));
+      }
+      return result;
+    } else {
+      lo = t + 1;
+    }
+    mlight::common::auditLookupSearchBounds(lo, hi);
+  }
+}
+
+PhtIndex::Label PhtIndex::uncachedLeafOracle(const Label& full) const {
+  std::size_t lo = 0;
+  std::size_t hi = config_.maxDepth;
+  while (lo <= hi) {
+    const std::size_t t = lo + (hi - lo) / 2;
+    const Label candidate = full.prefix(t);
+    const PhtNode* node = store_.peek(candidate);
+    if (node == nullptr) {
+      if (t == 0) break;
+      hi = t - 1;
+    } else if (node->isLeaf) {
+      return candidate;
+    } else {
+      lo = t + 1;
+    }
+  }
+  return Label{};
 }
 
 void PhtIndex::insert(const Record& record) {
@@ -87,7 +205,7 @@ void PhtIndex::insert(const Record& record) {
     throw std::invalid_argument("insert: wrong dimensionality");
   }
   const auto initiator = randomPeer();
-  const Located loc = locate(initiator, record.key);
+  const Located loc = locateCached(initiator, record.key);
   if (loc.failed) {
     net_->run();  // leaf unreachable under faults: drop, don't corrupt
     return;
@@ -147,7 +265,7 @@ void PhtIndex::splitLoop(Label leafLabel) {
 
 std::size_t PhtIndex::erase(const Point& key, std::uint64_t id) {
   const auto initiator = randomPeer();
-  const Located loc = locate(initiator, key);
+  const Located loc = locateCached(initiator, key);
   if (loc.failed) {
     net_->run();
     return 0;
@@ -212,7 +330,7 @@ mlight::index::PointResult PhtIndex::pointQuery(const Point& key) {
   const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
-  const Located loc = locate(randomPeer(), key);
+  const Located loc = locateCached(randomPeer(), key);
   mlight::index::PointResult out;
   if (!loc.failed) {
     const PhtNode* leaf = store_.peek(loc.leaf);
@@ -257,6 +375,13 @@ mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
             [&, label](PhtNode* node, const mlight::dht::RpcDelivery& d) {
               MLIGHT_CHECK(node != nullptr, "trie prefix closure violated");
               if (node->isLeaf) {
+                if (config_.cache.enabled) {
+                  // Range traversals warm the cache for free: every leaf
+                  // touched is a future point-lookup hint.
+                  hintCaches_.forPeer(initiator.value)
+                      .learn(node->label,
+                             static_cast<std::uint32_t>(node->label.size()));
+                }
                 collectInRange(*node, clipped, out.records);
               } else {
                 descend(label.withBack(false), d.route.owner,
@@ -277,13 +402,19 @@ mlight::index::RangeResult PhtIndex::rangeQuery(const Rect& range) {
     // The LCA prefix is below the trie: a single leaf above it covers the
     // whole range; find it by point lookup of the range corner (the
     // sequential probes continue the chain at round 2).
-    const Located loc = locate(first.owner, clipped.lo(), /*roundBase=*/2);
+    const Located loc =
+        locateCached(first.owner, clipped.lo(), /*roundBase=*/2);
     if (!loc.failed) {
       const PhtNode* leaf = store_.peek(loc.leaf);
       assert(leaf != nullptr);
       collectInRange(*leaf, clipped, out.records);
     }
   } else if (first.bucket->isLeaf) {
+    if (config_.cache.enabled) {
+      hintCaches_.forPeer(initiator.value)
+          .learn(first.bucket->label,
+                 static_cast<std::uint32_t>(first.bucket->label.size()));
+    }
     collectInRange(*first.bucket, clipped, out.records);
   } else {
     // Internal nodes hold no data: descend the trie, one round of

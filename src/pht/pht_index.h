@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/hint_cache.h"
 #include "common/bitstring.h"
 #include "common/serde.h"
 #include "common/geometry.h"
@@ -37,6 +38,10 @@ struct PhtConfig {
   std::size_t thetaMerge = 50;
   std::uint64_t seed = 43;
   std::string dhtNamespace = "pht/";
+  /// The same per-peer label-hint cache m-LIGHT gets (src/cache), so the
+  /// baseline comparison stays honest: the original PHT work caches
+  /// resolved prefixes client-side too.
+  mlight::cache::CachePolicy cache;
 };
 
 /// A trie node: internal nodes are pure routing markers, leaves carry the
@@ -109,6 +114,9 @@ class PhtIndex final : public mlight::index::IndexBase {
     return store_;
   }
 
+  /// The per-peer hint caches (test/bench hook).
+  mlight::cache::HintCacheSet& hintCaches() noexcept { return hintCaches_; }
+
  private:
   struct Located {
     Label leaf;
@@ -121,6 +129,18 @@ class PhtIndex final : public mlight::index::IndexBase {
   };
   Located locate(mlight::dht::RingId initiator, const Point& p,
                  std::uint32_t roundBase = 1);
+
+  /// Cache-aware locate (see MLightIndex::locateCached): one direct
+  /// probe of the remembered leaf prefix on a live hint, stale hints
+  /// repaired by a search seeded from the hint's prefix length.  With
+  /// the cache disabled this is locate().
+  Located locateCached(mlight::dht::RingId initiator, const Point& p,
+                       std::uint32_t roundBase = 1);
+
+  /// Unmetered peek() replica of the prefix binary search — the
+  /// paranoid-audit oracle for cached lookups.
+  Label uncachedLeafOracle(const Label& full) const;
+
   mlight::dht::RingId randomPeer();
   void splitLoop(Label leaf);
   void mergeLoop(Label leaf);
@@ -129,6 +149,7 @@ class PhtIndex final : public mlight::index::IndexBase {
   PhtConfig config_;
   mlight::store::DistributedStore<PhtNode> store_;
   mlight::common::Rng rng_;
+  mlight::cache::HintCacheSet hintCaches_;
   MaintenanceBreakdown breakdown_;
   std::size_t size_ = 0;
 };

@@ -298,6 +298,24 @@ class DistributedStore {
     net_->releaseBuffer(std::move(bucketWire).take());
   }
 
+  /// Async hint probe (lookup-cache subsystem): a kHintProbe envelope
+  /// carrying the label under test plus `extra` opaque bytes (the
+  /// serialized hint — shipped so the owner-side verdict works from the
+  /// wire copy like every other handler; re-read it from
+  /// `d.env.payload` past the leading label).  Routes, meters, and fails
+  /// over exactly like asyncGet; only the verb differs so traces and
+  /// dead letters can tell hint traffic from search probes.
+  void asyncHintProbe(RingId initiator, const Label& label,
+                      std::vector<std::uint8_t> extra, std::uint32_t round,
+                      VisitFn fn) {
+    auto state = std::make_shared<AccessState>();
+    state->kind = mlight::dht::RpcKind::kHintProbe;
+    state->label = label;
+    state->extra = std::move(extra);
+    state->fn = std::move(fn);
+    issueAccess(std::move(state), initiator, round, /*salt=*/0);
+  }
+
   /// One DHT-lookup: routes from `initiator` to the key's owner and
   /// returns the bucket stored there, if any.  Synchronous facade over
   /// asyncGet — issues the RPC and pumps the event loop to completion,
@@ -310,6 +328,21 @@ class DistributedStore {
              [&out](Bucket* bucket, const mlight::dht::RpcDelivery& d) {
                out = Found{d.route.owner, d.route.hops, d.route.ms, bucket};
              });
+    net_->run();
+    return out;
+  }
+
+  /// Synchronous facade over asyncHintProbe, mirroring routeAndFind.
+  Found hintProbeAndFind(RingId initiator, const Label& label,
+                         std::vector<std::uint8_t> extra,
+                         std::uint32_t round = 1) {
+    Found out{};
+    out.failed = true;  // cleared iff some holder actually answers
+    asyncHintProbe(
+        initiator, label, std::move(extra), round,
+        [&out](Bucket* bucket, const mlight::dht::RpcDelivery& d) {
+          out = Found{d.route.owner, d.route.hops, d.route.ms, bucket};
+        });
     net_->run();
     return out;
   }
@@ -420,6 +453,13 @@ class DistributedStore {
     return underReplicated_;
   }
 
+  /// Labels with memoized ring keys (the ringKey() cache).  Bounded by
+  /// the labels ever probed minus those mourned after a crash — the
+  /// stats dump watches this for unbounded growth across churn epochs.
+  std::size_t ringKeyCacheSize() const noexcept {
+    return ringKeyCache_.size();
+  }
+
   /// Current holder set recorded for `label` (empty if absent) — test
   /// and audit accessor.
   std::vector<RingId> holdersOf(const Label& label) const {
@@ -487,6 +527,10 @@ class DistributedStore {
   struct AccessState {
     mlight::dht::RpcKind kind;
     Label label;
+    /// Opaque bytes appended after the label (hint-probe body); empty
+    /// for plain get/visit.  Kept in the state so failover retransmits
+    /// carry the same wire body as the original attempt.
+    std::vector<std::uint8_t> extra;
     VisitFn fn;
     std::vector<RingId> tried;
     std::vector<CopyTarget> targets;
@@ -518,6 +562,7 @@ class DistributedStore {
                    std::uint32_t round, std::size_t salt) {
     mlight::common::Writer body(net_->acquireBuffer());
     body.writeBitString(state->label);
+    if (!state->extra.empty()) body.writeBytes(state->extra);
     mlight::dht::RpcEnvelope env;
     env.kind = state->kind;
     env.from = initiator;
@@ -635,6 +680,10 @@ class DistributedStore {
     for (const Label& label : lost) {
       entries_.erase(label);
       mourned_.insert(label);
+      // A mourned label will never be probed through the cache again
+      // (reads fail fast); dropping its memoized ring keys keeps the
+      // cache from growing without bound across churn epochs.
+      ringKeyCache_.erase(label);
       ++lostBuckets_;
     }
   }

@@ -1,0 +1,218 @@
+// Unit tests for the lookup-hint cache (src/cache) plus negative tests
+// for the two audits the subsystem added to the invariant layer:
+// auditCacheCoherence (cached lookup == uncached search) and
+// auditLookupSearchBounds (the binary search never loses its target).
+#include "cache/hint_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/bitstring.h"
+#include "common/invariants.h"
+#include "common/serde.h"
+
+namespace mlight::cache {
+namespace {
+
+using mlight::common::BitString;
+
+BitString bits(const char* text) { return BitString::fromString(text); }
+
+CachePolicy onPolicy(std::size_t perDim = 1024) {
+  CachePolicy p;
+  p.enabled = true;
+  p.perDimCapacity = perDim;
+  return p;
+}
+
+// --- LabelHintCache ------------------------------------------------------
+
+TEST(LabelHintCache, FindCoveringReturnsDeepestPrefix) {
+  LabelHintCache cache(2, onPolicy());
+  cache.learn(bits("0010"), 1);
+  cache.learn(bits("001011"), 3);
+  const BitString full = bits("0010110101");
+  const LabelHint* hit = cache.findCovering(full);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->leaf, bits("001011"));
+  EXPECT_EQ(hit->depth, 3u);
+}
+
+TEST(LabelHintCache, FindCoveringMissesNonPrefixes) {
+  LabelHintCache cache(2, onPolicy());
+  cache.learn(bits("0011"), 1);
+  EXPECT_EQ(cache.findCovering(bits("0010110101")), nullptr);
+}
+
+TEST(LabelHintCache, ExactFullPathIsCovering) {
+  // A hint may be as deep as the query path itself.
+  LabelHintCache cache(2, onPolicy());
+  cache.learn(bits("00101"), 2);
+  const LabelHint* hit = cache.findCovering(bits("00101"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->leaf, bits("00101"));
+}
+
+TEST(LabelHintCache, LearnRefreshesDepthInPlace) {
+  LabelHintCache cache(2, onPolicy());
+  cache.learn(bits("0010"), 1);
+  cache.learn(bits("0010"), 7);
+  EXPECT_EQ(cache.size(), 1u);
+  const LabelHint* hit = cache.findCovering(bits("0010"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->depth, 7u);
+}
+
+TEST(LabelHintCache, EvictsLeastRecentlyUsedAtCapacity) {
+  LabelHintCache cache(1, onPolicy(2));  // capacity = 2 * 1
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.learn(bits("00"), 0);
+  cache.learn(bits("010"), 1);
+  // Touch "00" so "010" becomes the LRU victim.
+  EXPECT_NE(cache.findCovering(bits("00")), nullptr);
+  cache.learn(bits("011"), 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.findCovering(bits("010")), nullptr);
+  EXPECT_NE(cache.findCovering(bits("00")), nullptr);
+  EXPECT_NE(cache.findCovering(bits("011")), nullptr);
+}
+
+TEST(LabelHintCache, ForgetDropsTheHint) {
+  LabelHintCache cache(2, onPolicy());
+  cache.learn(bits("0010"), 1);
+  cache.forget(bits("0010"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.findCovering(bits("0010")), nullptr);
+  // Forgetting a label that is not cached is a no-op.
+  cache.forget(bits("0011"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LabelHintCache, ForgetUnshadowsShallowerHint) {
+  // After a merge the deeper label is dead; forgetting it must let the
+  // surviving shallower hint cover the cell again.
+  LabelHintCache cache(2, onPolicy());
+  cache.learn(bits("0010"), 1);
+  cache.learn(bits("001011"), 3);
+  cache.forget(bits("001011"));
+  const LabelHint* hit = cache.findCovering(bits("0010110101"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->leaf, bits("0010"));
+}
+
+// --- LabelHint serde -----------------------------------------------------
+
+TEST(LabelHint, SerdeRoundTrip) {
+  LabelHint h;
+  h.leaf = bits("001011010111");
+  h.depth = 9;
+  mlight::common::Writer w;
+  h.serialize(w);
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+  mlight::common::Reader r(bytes);
+  const LabelHint back = LabelHint::deserialize(r);
+  EXPECT_EQ(back.leaf, h.leaf);
+  EXPECT_EQ(back.depth, h.depth);
+}
+
+// --- HintCacheSet --------------------------------------------------------
+
+TEST(HintCacheSet, KeepsIndependentPerPeerCaches) {
+  HintCacheSet set(2, onPolicy());
+  set.forPeer(7).learn(bits("0010"), 1);
+  EXPECT_EQ(set.forPeer(9).findCovering(bits("0010")), nullptr);
+  EXPECT_NE(set.forPeer(7).findCovering(bits("0010")), nullptr);
+  EXPECT_EQ(set.peerCount(), 2u);
+  EXPECT_EQ(set.totalHints(), 1u);
+}
+
+// --- MLIGHT_CACHE environment switch -------------------------------------
+
+class ScopedCacheEnv {
+ public:
+  explicit ScopedCacheEnv(const char* value) {
+    const char* old = std::getenv("MLIGHT_CACHE");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value == nullptr) {
+      ::unsetenv("MLIGHT_CACHE");
+    } else {
+      ::setenv("MLIGHT_CACHE", value, 1);
+    }
+  }
+  ~ScopedCacheEnv() {
+    if (had_) {
+      ::setenv("MLIGHT_CACHE", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("MLIGHT_CACHE");
+    }
+  }
+  ScopedCacheEnv(const ScopedCacheEnv&) = delete;
+  ScopedCacheEnv& operator=(const ScopedCacheEnv&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(CacheEnv, UnsetOrEmptyUsesFallback) {
+  {
+    ScopedCacheEnv env(nullptr);
+    EXPECT_FALSE(cacheEnabledFromEnv(false));
+    EXPECT_TRUE(cacheEnabledFromEnv(true));
+  }
+  {
+    ScopedCacheEnv env("");
+    EXPECT_FALSE(cacheEnabledFromEnv(false));
+    EXPECT_TRUE(cacheEnabledFromEnv(true));
+  }
+}
+
+TEST(CacheEnv, ExplicitOffValuesDisable) {
+  for (const char* off : {"0", "off", "false"}) {
+    ScopedCacheEnv env(off);
+    EXPECT_FALSE(cacheEnabledFromEnv(true)) << "value: " << off;
+  }
+}
+
+TEST(CacheEnv, AnyOtherValueEnables) {
+  for (const char* on : {"1", "on", "yes"}) {
+    ScopedCacheEnv env(on);
+    EXPECT_TRUE(cacheEnabledFromEnv(false)) << "value: " << on;
+  }
+}
+
+// --- the cache's audits --------------------------------------------------
+
+TEST(CacheAudits, CoherenceAcceptsMatchingLeaves) {
+  mlight::common::resetAuditCounters();
+  EXPECT_NO_THROW(
+      mlight::common::auditCacheCoherence(bits("0010"), bits("0010")));
+  EXPECT_EQ(mlight::common::auditCounters().passed, 1u);
+}
+
+TEST(CacheAudits, CoherenceDetectsDivergentLeaves) {
+  mlight::common::resetAuditCounters();
+  EXPECT_THROW(
+      mlight::common::auditCacheCoherence(bits("0010"), bits("0011")),
+      mlight::common::AuditFailure);
+  EXPECT_EQ(mlight::common::auditCounters().failed, 1u);
+}
+
+TEST(CacheAudits, SearchBoundsAcceptOrderedRange) {
+  EXPECT_NO_THROW(mlight::common::auditLookupSearchBounds(0, 0));
+  EXPECT_NO_THROW(mlight::common::auditLookupSearchBounds(3, 9));
+}
+
+TEST(CacheAudits, SearchBoundsDetectLostTarget) {
+  mlight::common::resetAuditCounters();
+  EXPECT_THROW(mlight::common::auditLookupSearchBounds(5, 4),
+               mlight::common::AuditFailure);
+  EXPECT_EQ(mlight::common::auditCounters().failed, 1u);
+}
+
+}  // namespace
+}  // namespace mlight::cache

@@ -51,7 +51,8 @@ struct RunResult {
 RunResult runWorkload(std::uint64_t seed, bool withFaults = false,
                       std::uint64_t faultSeed = 1,
                       bool installDisabledModel = false,
-                      bool bufferPooling = true) {
+                      bool bufferPooling = true,
+                      bool cacheEnabled = false) {
   Network net(48, seed);
   net.setBufferPooling(bufferPooling);
   if (withFaults) {
@@ -75,6 +76,7 @@ RunResult runWorkload(std::uint64_t seed, bool withFaults = false,
   core::MLightConfig config;
   config.thetaSplit = 16;
   config.thetaMerge = 8;
+  config.cache.enabled = cacheEnabled;  // explicit: immune to MLIGHT_CACHE
   if (withFaults) config.replication = 2;  // retries may still dead-letter
   core::MLightIndex index(net, config);
 
@@ -210,6 +212,48 @@ TEST(Replay, FaultInjectedRunIsByteExactUnderTheSameSeeds) {
   // (otherwise the fault RNG is not actually feeding the schedule).
   const RunResult c = runWorkload(2009, /*withFaults=*/true, faultSeed + 1);
   EXPECT_NE(a.trace, c.trace);
+}
+
+TEST(Replay, CacheEnabledRunIsByteExactUnderTheSameFaultSeed) {
+  // The hint cache adds a new RPC verb and new meter fields but no new
+  // nondeterminism: a cache-enabled workload under fault injection is
+  // still a pure function of (network seed, fault seed).
+  const std::uint64_t faultSeed = dht::faultSeedFromEnv(1234);
+  const RunResult a = runWorkload(2009, /*withFaults=*/true, faultSeed,
+                                  /*installDisabledModel=*/false,
+                                  /*bufferPooling=*/true,
+                                  /*cacheEnabled=*/true);
+  const RunResult b = runWorkload(2009, /*withFaults=*/true, faultSeed,
+                                  /*installDisabledModel=*/false,
+                                  /*bufferPooling=*/true,
+                                  /*cacheEnabled=*/true);
+  ASSERT_FALSE(a.trace.empty());
+  // The workload's cached locates must actually consult hints —
+  // otherwise this replays the uncached path against itself.
+  EXPECT_GT(a.total.cacheHits + a.total.staleHints, 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.queryAnswers, b.queryAnswers);
+  EXPECT_EQ(a.total.lookups, b.total.lookups);
+  EXPECT_EQ(a.total.cacheHits, b.total.cacheHits);
+  EXPECT_EQ(a.total.staleHints, b.total.staleHints);
+  EXPECT_EQ(a.total.retries, b.total.retries);
+  EXPECT_DOUBLE_EQ(a.finalNow, b.finalNow);
+}
+
+TEST(Replay, CacheChangesTrafficButNeverAnswers) {
+  // Cache on vs off over the identical workload: fewer/different probes
+  // on the wire, byte-identical query results.
+  const RunResult off = runWorkload(2009);
+  const RunResult on = runWorkload(2009, /*withFaults=*/false,
+                                   /*faultSeed=*/1,
+                                   /*installDisabledModel=*/false,
+                                   /*bufferPooling=*/true,
+                                   /*cacheEnabled=*/true);
+  EXPECT_EQ(off.total.cacheHits, 0u);
+  EXPECT_EQ(off.total.staleHints, 0u);
+  EXPECT_GT(on.total.cacheHits + on.total.staleHints, 0u);
+  EXPECT_NE(off.trace, on.trace);
+  EXPECT_EQ(off.queryAnswers, on.queryAnswers);
 }
 
 TEST(Replay, FaultFreeModelMatchesNoModelBitExactly) {
