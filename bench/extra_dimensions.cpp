@@ -5,6 +5,7 @@
 // and range-query costs.  Expected: m-LIGHT degrades gracefully (its
 // kd-tree is binary regardless of m), while DST's fan-out is 2^m — its
 // decomposition and replication costs grow much faster.
+#include <algorithm>
 #include <cinttypes>
 
 #include "bench_util.h"
@@ -20,6 +21,21 @@ int main(int argc, char** argv) {
   auto args = bench::Args::parse(argc, argv);
   const bench::WallClock wall(bench::benchName(argv[0]));
   if (args.records == 123593) args.records = 30000;  // 4 dims x 3 schemes
+  if (args.quick) {
+    // The generic 1/10th quick scale is still ~12k records x 4 dims x 3
+    // schemes (minutes of DST replication traffic); the CI perf-smoke
+    // wants seconds.  The sweep's *shape* — maintenance and query cost
+    // growing with m, DST an order of magnitude above the others — is
+    // already unmistakable at this size.
+    args.records = std::min<std::size_t>(args.records, 3000);
+    args.queries = std::min<std::size_t>(args.queries, 3);
+  }
+  // DST's span-0.05 decomposition at m = 4 costs ~3M lookups per query
+  // no matter how few records are stored — the static 2^m tree is the
+  // point of the full run, but it alone is ~1 min of wall clock, so the
+  // smoke run stops at m = 3 where the blow-up is already 3 orders of
+  // magnitude.
+  const std::size_t maxDims = args.quick ? 3 : 4;
 
   bench::banner("Extension — dimensionality sweep (m = 1..4)",
                 "clustered data, theta=100, span 0.05 range queries; "
@@ -29,7 +45,7 @@ int main(int argc, char** argv) {
               "maint lookups", "", "", "query lookups", "", "");
   std::printf("%4s | %14s %14s %14s | %12s %12s %12s\n", "",
               "m-LIGHT", "PHT", "DST", "m-LIGHT", "PHT", "DST");
-  for (std::size_t dims = 1; dims <= 4; ++dims) {
+  for (std::size_t dims = 1; dims <= maxDims; ++dims) {
     dht::Network net(args.peers, 1);
     core::MLightConfig mc;
     mc.dims = dims;

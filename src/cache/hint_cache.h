@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/bitstring.h"
+#include "common/digest.h"
 #include "common/serde.h"
 
 namespace mlight::cache {
@@ -113,6 +114,18 @@ class LabelHintCache {
   /// Test hook: inject a hint verbatim (poisoned-hint negative tests).
   void poison(const Label& leaf, std::uint32_t depth) { learn(leaf, depth); }
 
+  /// Feeds the cached hints *in LRU order* into `d`.  Recency order is
+  /// part of the fingerprint on purpose: it decides future evictions and
+  /// therefore future cache-hit traffic, so two runs that are
+  /// digest-equal here will also meter identically from now on.
+  void digestState(mlight::common::Digest& d) const {
+    d.feed(lru_.size());
+    for (const LabelHint& h : lru_) {
+      d.feed(h.leaf);
+      d.feed(h.depth);
+    }
+  }
+
  private:
   std::size_t capacity_;
   /// Most-recently-used at the front.
@@ -150,10 +163,22 @@ class HintCacheSet {
   /// Total hints cached across all peers (introspection).
   std::size_t totalHints() const noexcept {
     std::size_t n = 0;
+    // DET-ALLOW(commutative sum of sizes; feeds introspection only)
     for (const auto& [peer, cache] : caches_) n += cache.size();
     return n;
   }
   std::size_t peerCount() const noexcept { return caches_.size(); }
+
+  /// Digests every peer's cache in ascending peer order (sorted
+  /// snapshot; see LabelHintCache::digestState for why LRU order is
+  /// included).
+  void digestState(mlight::common::Digest& d) const {
+    d.feed(caches_.size());
+    for (const std::uint64_t peer : mlight::common::sortedKeys(caches_)) {
+      d.feed(peer);
+      caches_.find(peer)->second.digestState(d);
+    }
+  }
 
  private:
   std::size_t dims_;

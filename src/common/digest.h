@@ -1,0 +1,100 @@
+// Order-insensitive-by-construction state digests for determinism checks.
+//
+// The determinism contract (docs/THEORY.md, "Determinism contract") is
+// certified dynamically by re-running a workload under schedule
+// perturbation (MLIGHT_SCHED_SHUFFLE_SEED) and comparing a digest of all
+// simulation-visible state: index trees, stored buckets, replica
+// placements, cost meters.  The digest itself must therefore never
+// depend on container iteration order — every component that feeds a
+// Digest walks its unordered containers through a *sorted snapshot*
+// (see sortedKeys below), so two states are digest-equal iff they are
+// logically equal.
+//
+// This is a cheap streaming FNV-1a over typed words, not a cryptographic
+// hash: it fingerprints states for equality testing inside one build,
+// nothing more.  For content-addressed keys use common/sha1.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/bitstring.h"
+
+namespace mlight::common {
+
+/// Streaming 64-bit FNV-1a accumulator with typed feeds.  Feed order is
+/// part of the fingerprint, so callers feed fields in a fixed program
+/// order and feed container elements in sorted key order.
+class Digest {
+ public:
+  void feed(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      step(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void feed(std::uint32_t v) noexcept { feed(static_cast<std::uint64_t>(v)); }
+  void feed(bool v) noexcept { feed(static_cast<std::uint64_t>(v ? 1 : 0)); }
+
+  /// Doubles are fed by bit pattern: two states are digest-equal only
+  /// when every simulated time/coordinate is bit-identical, which is
+  /// exactly the replay contract.
+  void feed(double v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    feed(bits);
+  }
+
+  void feed(std::string_view s) noexcept {
+    feed(s.size());
+    for (const char c : s) step(static_cast<std::uint8_t>(c));
+  }
+
+  /// A label: length plus its packed words (tail bits are zeroed by
+  /// BitString's invariant, so equal labels feed equal words).
+  void feed(const BitString& b) noexcept {
+    feed(b.size());
+    for (const std::uint64_t w : b.words()) feed(w);
+  }
+
+  void feedBytes(const std::vector<std::uint8_t>& bytes) noexcept {
+    feed(bytes.size());
+    for (const std::uint8_t b : bytes) step(b);
+  }
+
+  std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  void step(std::uint8_t byte) noexcept {
+    state_ ^= byte;
+    state_ *= 0x100000001B3ull;  // FNV-1a 64 prime
+  }
+
+  std::uint64_t state_ = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+};
+
+/// Sorted snapshot of an associative container's keys — the one sanctioned
+/// way to walk an unordered container into anything order-sensitive
+/// (digests, serde, logs, fan-out).  Centralizing the idiom keeps the
+/// DET-ALLOW surface to this single audited loop.
+template <typename Container>
+std::vector<typename Container::key_type> sortedKeys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  // DET-ALLOW(key collection is order-insensitive; the sort below imposes
+  // the canonical order before any consumer sees the keys)
+  for (const auto& item : c) {
+    if constexpr (requires { item.first; }) {
+      keys.push_back(item.first);
+    } else {
+      keys.push_back(item);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace mlight::common

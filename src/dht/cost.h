@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/digest.h"
+
 namespace mlight::dht {
 
 struct CostMeter {
@@ -41,6 +43,20 @@ struct CostMeter {
   /// one pays the probe plus an O(log Δdepth) seeded repair search, all
   /// metered in `lookups` as usual.
   std::uint64_t staleHints = 0;
+
+  /// Feeds every counter into a state digest (fixed field order).  All
+  /// counters are commutative sums, so a meter is digest-stable under
+  /// any reordering of the operations it metered.
+  void digestTo(mlight::common::Digest& d) const noexcept {
+    d.feed(lookups);
+    d.feed(hops);
+    d.feed(bytesMoved);
+    d.feed(recordsMoved);
+    d.feed(messages);
+    d.feed(retries);
+    d.feed(cacheHits);
+    d.feed(staleHints);
+  }
 
   CostMeter& operator+=(const CostMeter& other) noexcept {
     lookups += other.lookups;

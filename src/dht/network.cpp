@@ -178,10 +178,37 @@ void Network::deliverSlot(std::uint32_t slot) {
   bufferPool_.release(std::move(wire));
 }
 
-void Network::setFaultModel(const FaultModel& faults) {
-  faults_ = faults;
-  faultRng_ = mlight::common::Rng(faults.seed);
+void Network::setFaultModel(const FaultModel& faults) { faults_ = faults; }
+
+namespace {
+
+// Per-attempt fault randomness, derived as a pure function of the fault
+// seed, the envelope's logical content, and the attempt number — NOT
+// drawn from a shared sequential stream.  A shared stream is consumed in
+// event-execution order, so two same-time events that both transmit
+// would swap each other's loss outcomes when the schedule perturbation
+// (MLIGHT_SCHED_SHUFFLE_SEED) reorders them.  Keying the draw on content
+// attaches the outcome to the message itself: permuting deliveries
+// permutes which draw happens first, but every envelope still sees the
+// same loss/jitter it would have seen in any other order.  env.id is
+// deliberately excluded — rpc ids are handed out in execution order and
+// would re-introduce exactly the order-dependence this removes.  Two
+// byte-identical concurrent envelopes share one outcome, which is fine:
+// swapping indistinguishable messages is a no-op.
+mlight::common::Rng attemptRng(const FaultModel& faults,
+                               const RpcEnvelope& env, std::size_t attempt) {
+  mlight::common::Digest d;
+  d.feed(faults.seed);
+  d.feed(env.from.value);
+  d.feed(env.to.value);
+  d.feed(static_cast<std::uint64_t>(env.kind));
+  d.feed(env.round);
+  d.feed(static_cast<std::uint64_t>(attempt));
+  d.feedBytes(env.payload);
+  return mlight::common::Rng(d.value());
 }
+
+}  // namespace
 
 double Network::rpcTimeoutMs(std::size_t attempt,
                              double routeMs) const noexcept {
@@ -206,9 +233,11 @@ void Network::transmitWithFaults(RingId key, const RouteResult& route,
   nextFree = departure + latency_.sendOverheadMs;
 
   // Per-attempt fault draws, in a fixed order (loss first, then jitter
-  // only for surviving transmissions) so the fault RNG stream — and with
-  // it the whole timeline — is a pure function of the fault seed.
-  const bool lost = faultRng_.chance(faults_.lossProbability);
+  // only for surviving transmissions) so each attempt's outcome is a
+  // pure function of (fault seed, envelope content, attempt number) —
+  // see attemptRng above for why this survives schedule perturbation.
+  mlight::common::Rng draws = attemptRng(faults_, env, attempt);
+  const bool lost = draws.chance(faults_.lossProbability);
 
   struct Flight {
     bool delivered = false;
@@ -218,7 +247,7 @@ void Network::transmitWithFaults(RingId key, const RouteResult& route,
 
   if (!lost) {
     const double jitter =
-        faults_.jitterMs > 0.0 ? faultRng_.uniform() * faults_.jitterMs : 0.0;
+        faults_.jitterMs > 0.0 ? draws.uniform() * faults_.jitterMs : 0.0;
     sched_.schedule(
         departure + route.ms + jitter,
         [this, wire = std::move(w).take(), route, departure, handler,

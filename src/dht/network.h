@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/digest.h"
 #include "common/rng.h"
 #include "dht/cost.h"
 #include "dht/id.h"
@@ -92,8 +93,12 @@ struct FaultModel {
   double timeoutBaseMs = 50.0;
   /// Total transmissions per envelope, including the first.
   std::size_t maxAttempts = 6;
-  /// Seed of the dedicated fault RNG (loss and jitter draws only, so
-  /// enabling faults never perturbs the network's auxiliary RNG).
+  /// Seed of the fault randomness.  Loss and jitter are not drawn from a
+  /// shared stream: each attempt's outcome is a pure function of this
+  /// seed, the envelope's content, and the attempt number (see
+  /// attemptRng in network.cpp), so enabling faults never perturbs the
+  /// network's auxiliary RNG and the fault timeline is invariant under
+  /// schedule-tie perturbation.
   std::uint64_t seed = 1;
 };
 
@@ -191,6 +196,43 @@ class Network {
   void run() { sched_.run(); }
 
   std::size_t pendingEvents() const noexcept { return sched_.pending(); }
+
+  // --- Determinism certification ---------------------------------------
+  //
+  // Same-time event ties must be order-free: the schedule-perturbation
+  // suite re-runs workloads with a shuffled tie-break
+  // (MLIGHT_SCHED_SHUFFLE_SEED / setScheduleShuffleSeed) and asserts
+  // state digests match the unshuffled run bit-for-bit.  See the
+  // "Determinism contract" section of docs/THEORY.md.
+
+  /// Installs a same-time tie-break shuffle on the scheduler (0 = off).
+  /// Call on a quiet network, before issuing traffic.
+  void setScheduleShuffleSeed(std::uint64_t seed) noexcept {
+    sched_.setTieShuffleSeed(seed);
+  }
+  std::uint64_t scheduleShuffleSeed() const noexcept {
+    return sched_.tieShuffleSeed();
+  }
+  /// Same-time delivery pairs observed so far (perturbation witness).
+  std::uint64_t schedulerTieDeliveries() const noexcept {
+    return sched_.tieDeliveries();
+  }
+
+  /// Feeds every simulation-visible network-level fact into `d`: the
+  /// ring membership, total cost meter, fault-layer outcomes, and the
+  /// simulated clock.  Pointer values, host memory, and pooled-buffer
+  /// bookkeeping are deliberately excluded.
+  void digestState(mlight::common::Digest& d) const {
+    d.feed(peers_.size());
+    for (const RingId p : peers_) d.feed(p.value);  // ring order: sorted
+    d.feed(physicalNames_.size());
+    for (const std::string& n : physicalNames_) d.feed(std::string_view(n));
+    total_.digestTo(d);
+    d.feed(maxHops_);
+    d.feed(deadLetters_);
+    d.feed(ghostDrops_);
+    d.feed(sched_.now());
+  }
 
   /// Marks the start of a measured operation: drains messages still in
   /// flight from prior operations, clears per-sender send backlogs, and
@@ -393,7 +435,6 @@ class Network {
   RpcTraceFn rpcTrace_;
 
   FaultModel faults_;
-  mlight::common::Rng faultRng_{1};  // reseeded by setFaultModel
   std::uint64_t deadLetters_ = 0;
   std::uint64_t ghostDrops_ = 0;
   std::vector<DeadLetter> deadLetterLog_;

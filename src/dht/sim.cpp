@@ -1,14 +1,39 @@
 #include "dht/sim.h"
 
+#include <cstdlib>
+
 namespace mlight::dht {
+
+std::uint64_t schedShuffleSeedFromEnv(std::uint64_t fallback) noexcept {
+  const char* raw = std::getenv("MLIGHT_SCHED_SHUFFLE_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+namespace {
+/// splitmix64 finalizer: a bijective mix of (seed, seq), so shuffled tie
+/// keys are distinct whenever sequence numbers are — the `seq` fallback
+/// in the comparator never actually fires.
+std::uint64_t mixTie(std::uint64_t seed, std::uint64_t seq) noexcept {
+  std::uint64_t z = seq + seed * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
 
 std::uint64_t SimScheduler::schedule(double at, Fn fn) {
   const std::uint64_t seq = nextSeq_++;
+  const std::uint64_t tie =
+      shuffleSeed_ == 0 ? seq : mixTie(shuffleSeed_, seq);
   // Skip the initial capacity ramp (1, 2, 4, ...): even a single RPC
   // schedules a handful of events, and the heap never shrinks, so one
   // up-front block makes steady-state scheduling allocation-free.
   if (heap_.capacity() == 0) heap_.reserve(64);
-  heap_.push_back(Event{std::max(at, clock_.now()), seq, std::move(fn)});
+  heap_.push_back(Event{std::max(at, clock_.now()), tie, seq, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return seq;
 }
@@ -19,6 +44,15 @@ bool SimScheduler::runOne() {
     Event ev = std::move(heap_.back());
     heap_.pop_back();
     if (cancelled_.erase(ev.seq) > 0) continue;  // discarded, clock untouched
+    // A reorderable tie: another live event with the same timestamp is
+    // still pending, so the tie-break genuinely chose between the two.
+    // (An event scheduled *by* an earlier handler at the same timestamp
+    // is causally ordered — it never coexisted with its parent in the
+    // heap — and does not count: shuffling cannot reorder causality.)
+    if (!heap_.empty() && heap_.front().at == ev.at &&
+        cancelled_.find(heap_.front().seq) == cancelled_.end()) {
+      ++tieDeliveries_;
+    }
     clock_.advanceTo(ev.at);
     ev.fn();
     return true;

@@ -14,6 +14,18 @@
 // the same callbacks at the same times execute them in the same order,
 // which is what makes whole-workload replay byte-exact (see
 // tests/integration/replay_test.cpp).
+//
+// Schedule perturbation (determinism certification): the contract above
+// also says that *no simulation-visible state may depend on the relative
+// order of same-time events* — only the (commutative) union of their
+// effects.  MLIGHT_SCHED_SHUFFLE_SEED (or setTieShuffleSeed) replaces
+// the same-time tie-break with a seeded pseudo-random permutation of the
+// sequence numbers: the timeline stays a deterministic pure function of
+// (workload, shuffle seed), but same-time ties deliver in a different —
+// still fixed — order.  State digests (common/digest.h) must be
+// bit-identical across shuffle seeds; tests/determinism/ enforces it.
+// Seed 0 (the default) disables the shuffle and is byte-identical to a
+// build without this mechanism.
 #pragma once
 
 #include <algorithm>
@@ -39,11 +51,32 @@ class SimClock {
 
 /// Priority event queue + clock.  Not thread-safe by design — the whole
 /// overlay is one deterministic simulation.
+/// Reads `MLIGHT_SCHED_SHUFFLE_SEED` from the environment (decimal),
+/// falling back to `fallback` (0 = shuffle off) when unset/empty — how
+/// the determinism CI job perturbs every scheduler in a test binary
+/// without touching code.
+std::uint64_t schedShuffleSeedFromEnv(std::uint64_t fallback = 0) noexcept;
+
 class SimScheduler {
  public:
   using Fn = std::function<void()>;
 
+  SimScheduler() : shuffleSeed_(schedShuffleSeedFromEnv()) {}
+
   double now() const noexcept { return clock_.now(); }
+
+  /// Installs the same-time tie-break shuffle seed (0 = off, the
+  /// default order: ties fire in schedule order).  Only affects events
+  /// scheduled after the call; tests install it on a quiet scheduler.
+  void setTieShuffleSeed(std::uint64_t seed) noexcept { shuffleSeed_ = seed; }
+  std::uint64_t tieShuffleSeed() const noexcept { return shuffleSeed_; }
+
+  /// Deliveries where another live event with the same timestamp was
+  /// still pending — ties the shuffle could genuinely reorder (same-time
+  /// events in a causal chain never coexist in the heap and don't
+  /// count).  A perturbation test asserts this is nonzero for its
+  /// workload, otherwise shuffling proved nothing.
+  std::uint64_t tieDeliveries() const noexcept { return tieDeliveries_; }
 
   /// Schedules `fn` to run at simulated time `at` (clamped to `now`).
   /// Returns the event's sequence number (global issue order).
@@ -87,14 +120,20 @@ class SimScheduler {
  private:
   struct Event {
     double at = 0.0;
+    /// Tie-break key among same-time events: equal to `seq` when the
+    /// shuffle is off, a seeded permutation of it when on.
+    std::uint64_t tie = 0;
     std::uint64_t seq = 0;
     Fn fn;
   };
   /// std::push_heap keeps the *greatest* element on top, so "greater"
-  /// here means "fires later": min-(time, seq) ends up at the front.
+  /// here means "fires later": min-(time, tie, seq) ends up at the
+  /// front.  `seq` backs up `tie` so the order is total even if the
+  /// shuffle hash ever collided.
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
+      if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;
     }
   };
@@ -103,6 +142,8 @@ class SimScheduler {
   std::vector<Event> heap_;
   std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t nextSeq_ = 0;
+  std::uint64_t shuffleSeed_ = 0;
+  std::uint64_t tieDeliveries_ = 0;
 };
 
 }  // namespace mlight::dht

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/bitstring.h"
+#include "common/digest.h"
 #include "common/serde.h"
 #include "common/geometry.h"
 #include "common/rng.h"
@@ -102,6 +103,15 @@ class DstIndex final : public mlight::index::IndexBase {
 
   const mlight::store::DistributedStore<DstNode>& store() const noexcept {
     return store_;
+  }
+
+  /// Digest of every simulation-visible fact of this index (see
+  /// MLightIndex::stateDigest; same contract).
+  std::uint64_t stateDigest() const {
+    mlight::common::Digest d;
+    d.feed(size_);
+    store_.digestState(d);
+    return d.value();
   }
 
  private:

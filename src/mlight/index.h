@@ -19,6 +19,7 @@
 
 #include "cache/hint_cache.h"
 #include "common/bitstring.h"
+#include "common/digest.h"
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "dht/network.h"
@@ -214,6 +215,26 @@ class MLightIndex final : public mlight::index::IndexBase {
   /// The per-peer hint caches (test/bench hook: poisoned-hint negative
   /// tests inject wrong labels here; benches read hint counts).
   mlight::cache::HintCacheSet& hintCaches() noexcept { return hintCaches_; }
+
+  /// Digest of every simulation-visible fact of this index: record
+  /// count, failure/maintenance counters, the full bucket store (sorted
+  /// labels, serialized buckets, replica placements), and the hint
+  /// caches.  The schedule-perturbation suite asserts this value is
+  /// bit-identical across tie-break shuffle seeds (determinism
+  /// contract, docs/THEORY.md).
+  std::uint64_t stateDigest() const {
+    mlight::common::Digest d;
+    d.feed(size_);
+    d.feed(failedInserts_);
+    d.feed(breakdown_.insertShipBytes);
+    d.feed(breakdown_.splitShipBytes);
+    d.feed(breakdown_.splitBucketMoves);
+    d.feed(breakdown_.splitStayLocal);
+    d.feed(breakdown_.mergeShipBytes);
+    store_.digestState(d);
+    hintCaches_.digestState(d);
+    return d.value();
+  }
 
  private:
   struct Located {

@@ -126,18 +126,23 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
   const auto initiator = randomPeer();
   countOut = 0;
 
+  // Range queries are the cheap way to warm the lookup cache: every leaf
+  // the cascade touches becomes a hint for the *initiating* peer, so
+  // later point operations in the queried region start from a direct
+  // probe.  Learning happens AFTER the cascade quiesces, in sorted label
+  // order — harvest runs inside RPC handlers, and handler order among
+  // same-time deliveries is explicitly unspecified (the determinism
+  // contract's schedule-perturbation tests reorder it), so feeding the
+  // LRU in arrival order would make cache recency — and with it future
+  // evictions and traffic — depend on tie-break order.
+  std::vector<Label> learnedLeaves;
+
   // Collects from one visited bucket and ships the result (full records
   // or an 8-byte count) from the bucket's owner back to the initiator.
   const auto harvest = [&](const LeafBucket& bucket, const Rect& scopeRect,
                            mlight::dht::RingId owner) {
     if (config_.cache.enabled) {
-      // Range queries are the cheap way to warm the lookup cache: every
-      // leaf the cascade touches becomes a hint for the *initiating*
-      // peer, so later point operations in the queried region start
-      // from a direct probe.
-      hintCaches_.forPeer(initiator.value)
-          .learn(bucket.label, static_cast<std::uint32_t>(
-                                   edgeDepth(bucket.label, config_.dims)));
+      learnedLeaves.push_back(bucket.label);
     }
     std::vector<mlight::index::Record> hits;
     collectInRegion(bucket, scopeRect, region, hits);
@@ -274,6 +279,17 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
 
   // Drive the cascade to quiescence; stats fall out of the timeline.
   net_->run();
+  if (config_.cache.enabled && !learnedLeaves.empty()) {
+    std::sort(learnedLeaves.begin(), learnedLeaves.end());
+    learnedLeaves.erase(
+        std::unique(learnedLeaves.begin(), learnedLeaves.end()),
+        learnedLeaves.end());
+    auto& cache = hintCaches_.forPeer(initiator.value);
+    for (const Label& leaf : learnedLeaves) {
+      cache.learn(leaf, static_cast<std::uint32_t>(
+                            edgeDepth(leaf, config_.dims)));
+    }
+  }
   out.stats.cost = meter;
   out.stats.rounds = net_->timelineMaxRound();
   out.stats.latencyMs = net_->now() - t0;

@@ -21,6 +21,7 @@
 
 #include "cache/hint_cache.h"
 #include "common/bitstring.h"
+#include "common/digest.h"
 #include "common/serde.h"
 #include "common/geometry.h"
 #include "common/rng.h"
@@ -116,6 +117,21 @@ class PhtIndex final : public mlight::index::IndexBase {
 
   /// The per-peer hint caches (test/bench hook).
   mlight::cache::HintCacheSet& hintCaches() noexcept { return hintCaches_; }
+
+  /// Digest of every simulation-visible fact of this index (see
+  /// MLightIndex::stateDigest; same contract).
+  std::uint64_t stateDigest() const {
+    mlight::common::Digest d;
+    d.feed(size_);
+    d.feed(breakdown_.insertShipBytes);
+    d.feed(breakdown_.splitShipBytes);
+    d.feed(breakdown_.splitBucketMoves);
+    d.feed(breakdown_.splitStayLocal);
+    d.feed(breakdown_.mergeShipBytes);
+    store_.digestState(d);
+    hintCaches_.digestState(d);
+    return d.value();
+  }
 
  private:
   struct Located {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bitstring.h"
+#include "common/digest.h"
 #include "common/geometry.h"
 #include "common/rng.h"
 #include "common/serde.h"
@@ -95,6 +96,15 @@ class RstIndex final : public mlight::index::IndexBase {
 
   const mlight::store::DistributedStore<RstNode>& store() const noexcept {
     return store_;
+  }
+
+  /// Digest of every simulation-visible fact of this index (see
+  /// MLightIndex::stateDigest; same contract).
+  std::uint64_t stateDigest() const {
+    mlight::common::Digest d;
+    d.feed(size_);
+    store_.digestState(d);
+    return d.value();
   }
 
  private:

@@ -41,6 +41,7 @@
 
 #include "common/bitstring.h"
 #include "common/check.h"
+#include "common/digest.h"
 #include "common/invariants.h"
 #include "common/serde.h"
 #include "dht/network.h"
@@ -471,9 +472,14 @@ class DistributedStore {
     return out;
   }
 
+  /// Visits every bucket in ascending label order (a sorted snapshot of
+  /// the unordered map — see the determinism contract in docs/THEORY.md:
+  /// consumers feed logs, stats dumps, and digests, so the visit order
+  /// must not leak hash-table layout).
   template <typename Fn>
   void forEach(Fn&& fn) const {
-    for (const auto& [label, entry] : entries_) {
+    for (const Label& label : mlight::common::sortedKeys(entries_)) {
+      const Entry& entry = entries_.find(label)->second;
       fn(label, entry.bucket, entry.copies[0].holder);
     }
   }
@@ -483,10 +489,43 @@ class DistributedStore {
   /// factors; peers with no bucket are absent).
   std::map<RingId, std::size_t> perPeerRecords() const {
     std::map<RingId, std::size_t> load;
-    for (const auto& [label, entry] : entries_) {
-      load[entry.copies[0].holder] += entry.bucket.recordCount();
-    }
+    forEach([&](const Label&, const Bucket& bucket, RingId owner) {
+      load[owner] += bucket.recordCount();
+    });
     return load;
+  }
+
+  /// Feeds every simulation-visible fact of this store into `d`: labels
+  /// and serialized buckets in ascending label order, replica
+  /// placements, mourned labels, and the loss/repair/failover counters.
+  /// The ringKey memo is excluded — it is a pure function of its keys
+  /// (host-side cache, never an answer source).
+  void digestState(mlight::common::Digest& d) const {
+    d.feed(std::string_view(ns_));
+    d.feed(replication_);
+    d.feed(entries_.size());
+    for (const Label& label : mlight::common::sortedKeys(entries_)) {
+      const Entry& entry = entries_.find(label)->second;
+      mlight::common::Writer w;
+      w.writeBitString(label);
+      entry.bucket.serialize(w);
+      d.feedBytes(w.bytes());
+      d.feed(entry.copies.size());
+      for (const CopyTarget& t : entry.copies) {
+        d.feed(t.holder.value);
+        d.feed(t.salt);
+      }
+    }
+    d.feed(mourned_.size());
+    for (const Label& label : mlight::common::sortedKeys(mourned_)) {
+      d.feed(label);
+    }
+    d.feed(lostBuckets_);
+    d.feed(repairedBuckets_);
+    d.feed(failedReads_);
+    d.feed(failoverReads_);
+    d.feed(readRepairs_);
+    d.feed(underReplicated_);
   }
 
  private:
@@ -634,8 +673,15 @@ class DistributedStore {
                        id) != change.removedVnodes.end();
     };
 
+    // Walk a sorted snapshot, not the hash table: the loop feeds metered
+    // repair traffic and (under kEager) replica fan-out, and the mourned
+    // set below feeds failed-read accounting — none of which may depend
+    // on unordered-map layout (determinism contract, docs/THEORY.md).
     std::vector<Label> lost;
-    for (auto& [label, entry] : entries_) {
+    for (const Label& sortedLabel : mlight::common::sortedKeys(entries_)) {
+      auto entryIt = entries_.find(sortedLabel);
+      const Label& label = entryIt->first;
+      Entry& entry = entryIt->second;
       RingId source = entry.copies[0].holder;
       if (change.kind == Kind::kCrash) {
         // A crash destroys the copies the dead peer held; the bucket

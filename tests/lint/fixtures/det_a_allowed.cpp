@@ -1,0 +1,17 @@
+// Lint fixture twin: the same DET-A pattern, waived with DET-ALLOW —
+// MUST pass clean.  Never compiled — lint fodder only.
+#include <cstddef>
+#include <unordered_map>
+
+class AllowedIteration {
+ public:
+  std::size_t keySum() const {
+    std::size_t sum = 0;
+    // DET-ALLOW(commutative integer sum; order cannot affect the result)
+    for (const auto& [key, value] : entries_) sum += key;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::size_t, int> entries_;
+};

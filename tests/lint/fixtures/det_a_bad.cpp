@@ -1,0 +1,16 @@
+// Lint fixture: MUST trigger DET-A (iteration over an unordered
+// container) and no other rule.  Never compiled — lint fodder only.
+#include <cstddef>
+#include <unordered_map>
+
+class BadIteration {
+ public:
+  std::size_t keySum() const {
+    std::size_t sum = 0;
+    for (const auto& [key, value] : entries_) sum += key;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::size_t, int> entries_;
+};

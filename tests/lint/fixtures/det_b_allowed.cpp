@@ -1,0 +1,12 @@
+// Lint fixture twin: the same DET-B pattern, waived with DET-ALLOW —
+// MUST pass clean.  Never compiled — lint fodder only.
+#include <chrono>
+#include <random>
+
+double wallClockNow() {
+  // DET-ALLOW(host-side profiling only; value never reaches sim state)
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  // DET-ALLOW(entropy feeds an operator-facing banner, not the sim)
+  std::random_device entropy;
+  return static_cast<double>(t.count()) + static_cast<double>(entropy());
+}

@@ -1,0 +1,10 @@
+// Lint fixture: MUST trigger DET-B (wall clock / ambient randomness)
+// and no other rule.  Never compiled — lint fodder only.
+#include <chrono>
+#include <random>
+
+double wallClockNow() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  std::random_device entropy;
+  return static_cast<double>(t.count()) + static_cast<double>(entropy());
+}

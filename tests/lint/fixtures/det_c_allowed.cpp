@@ -1,0 +1,20 @@
+// Lint fixture twin: the same DET-C pattern, waived with DET-ALLOW —
+// MUST pass clean.  Never compiled — lint fodder only.
+#include <cstdint>
+#include <map>
+
+struct Peer {
+  int load = 0;
+};
+
+class AllowedPointerOrder {
+ public:
+  std::uint64_t fingerprint(const Peer* p) const {
+    // DET-ALLOW(debug-print identity only; never ordered on or stored)
+    return reinterpret_cast<std::uintptr_t>(p);
+  }
+
+ private:
+  // DET-ALLOW(host-side debug registry; iteration order never observed)
+  std::map<Peer*, int> loadByPeer_;
+};

@@ -1,0 +1,18 @@
+// Lint fixture: MUST trigger DET-C (pointer-keyed order / hashing) and
+// no other rule.  Never compiled — lint fodder only.
+#include <cstdint>
+#include <map>
+
+struct Peer {
+  int load = 0;
+};
+
+class BadPointerOrder {
+ public:
+  std::uint64_t fingerprint(const Peer* p) const {
+    return reinterpret_cast<std::uintptr_t>(p);
+  }
+
+ private:
+  std::map<Peer*, int> loadByPeer_;
+};

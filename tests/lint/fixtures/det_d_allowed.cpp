@@ -1,0 +1,19 @@
+// Lint fixture twin: the same DET-D pattern, waived with DET-ALLOW —
+// MUST pass clean.  Never compiled — lint fodder only.
+#include <unordered_map>
+
+class AllowedFloatAccumulation {
+ public:
+  double totalMs() const {
+    double sum = 0.0;
+    // DET-ALLOW(collecting values; consumer claims order-insensitivity)
+    for (const auto& [key, ms] : latencies_) {
+      // DET-ALLOW(diagnostic total printed at whole-ms granularity)
+      sum += ms;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> latencies_;
+};

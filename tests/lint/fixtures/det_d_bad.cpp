@@ -1,0 +1,21 @@
+// Lint fixture: MUST trigger DET-D (float accumulation under hash
+// order) and no other rule.  The loop itself carries a DET-A waiver —
+// which deliberately does NOT extend to the accumulation inside it:
+// even an "order-insensitive" walk reorders float rounding.
+// Never compiled — lint fodder only.
+#include <unordered_map>
+
+class BadFloatAccumulation {
+ public:
+  double totalMs() const {
+    double sum = 0.0;
+    // DET-ALLOW(collecting values; consumer claims order-insensitivity)
+    for (const auto& [key, ms] : latencies_) {
+      sum += ms;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> latencies_;
+};

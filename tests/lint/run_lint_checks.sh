@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# ctest wrapper for the determinism lint (scripts/lint_determinism.py).
+#
+#   run_lint_checks.sh fixtures   self-test: every tests/lint/fixtures/
+#                                 det_<rule>_bad.cpp must trigger exactly
+#                                 its rule; every det_<rule>_allowed.cpp
+#                                 twin must pass clean.
+#   run_lint_checks.sh src        the real gate: src/ must be clean
+#                                 against the checked-in (empty) baseline.
+#
+# Exits 77 when python3 is unavailable, which ctest maps to SKIPPED via
+# SKIP_RETURN_CODE — same graceful-absence pattern as scripts/run_tidy.sh.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+LINT="$REPO_ROOT/scripts/lint_determinism.py"
+FIXTURES="$REPO_ROOT/tests/lint/fixtures"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "python3 not available; skipping determinism lint"
+  exit 77
+fi
+
+mode="${1:-fixtures}"
+fail=0
+
+case "$mode" in
+  src)
+    python3 "$LINT" || fail=1
+    ;;
+  fixtures)
+    for rule in A B C D; do
+      lower=$(printf '%s' "$rule" | tr 'A-Z' 'a-z')
+      bad="$FIXTURES/det_${lower}_bad.cpp"
+      allowed="$FIXTURES/det_${lower}_allowed.cpp"
+
+      out=$(python3 "$LINT" --no-baseline "$bad" 2>&1)
+      status=$?
+      if [ "$status" -ne 1 ]; then
+        echo "FAIL: $bad should exit 1 (violations), got $status"
+        echo "$out"
+        fail=1
+      elif ! printf '%s' "$out" | grep -q "\[DET-$rule\]"; then
+        echo "FAIL: $bad should trigger DET-$rule"
+        echo "$out"
+        fail=1
+      elif printf '%s' "$out" | grep "\[DET-" | grep -qv "\[DET-$rule\]"; then
+        echo "FAIL: $bad triggered a rule other than DET-$rule"
+        echo "$out"
+        fail=1
+      else
+        echo "ok: det_${lower}_bad triggers DET-$rule only"
+      fi
+
+      out=$(python3 "$LINT" --no-baseline "$allowed" 2>&1)
+      status=$?
+      if [ "$status" -ne 0 ]; then
+        echo "FAIL: $allowed (DET-ALLOW twin) should pass clean"
+        echo "$out"
+        fail=1
+      else
+        echo "ok: det_${lower}_allowed passes clean"
+      fi
+    done
+
+    # The empty-reason escape hatch must not be an escape hatch.
+    tmp=$(mktemp --suffix=.cpp)
+    cat > "$tmp" <<'EOF'
+#include <unordered_map>
+std::unordered_map<int, int> table_;
+int drain() {
+  int n = 0;
+  // DET-ALLOW()
+  for (const auto& [k, v] : table_) n += v;
+  return n;
+}
+EOF
+    out=$(python3 "$LINT" --no-baseline "$tmp" 2>&1)
+    if [ $? -ne 1 ] || ! printf '%s' "$out" | grep -q "non-empty reason"; then
+      echo "FAIL: empty DET-ALLOW() reason should be rejected"
+      echo "$out"
+      fail=1
+    else
+      echo "ok: empty DET-ALLOW() reason rejected"
+    fi
+    rm -f "$tmp"
+    ;;
+  *)
+    echo "usage: $0 {fixtures|src}" >&2
+    exit 2
+    ;;
+esac
+
+exit "$fail"
