@@ -25,6 +25,16 @@ so this is a purpose-built lexical lint over ``src/``:
   DET-D  float accumulation inside an unordered-container loop.  Even
          with DET-A waived, ``sum += x`` over hash order changes the
          rounding sequence, so metered totals drift between runs.
+  DET-E  mutable static-storage data (function-local ``static``,
+         ``static``/``inline`` namespace-scope variables, static data
+         members — anything neither const nor constexpr).  Such state is
+         shared across the sharded executor's worker threads yet never
+         appears in a lambda's capture list, so a handler or prep stage
+         can reach it invisibly: a data race under parallel prep, and a
+         cross-run ordering leak even when serial.  Per-run state
+         belongs on the owning object (Network/SimScheduler/index);
+         ``thread_local`` is flagged too, since worker identity is not
+         simulation state.
 
 Suppression: a ``// DET-ALLOW(reason)`` comment on the flagged line or
 the line directly above waives every rule for that line.  The reason is
@@ -105,6 +115,17 @@ POINTER_KEY_PATTERNS = [
     (re.compile(r"\breinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>"),
      "pointer-to-integer cast (address-derived value)"),
 ]
+
+# Mutable static-storage declaration: `static` (plus optional
+# thread_local/inline in either order), NOT followed by const/constexpr,
+# then a type (template args allowed) and a variable name terminated by
+# ;, = or {.  Function declarations never match: their name is followed
+# by '(' which no branch of the pattern can cross.
+STATIC_MUTABLE_RE = re.compile(
+    r"\bstatic\s+(?:(?:thread_local|inline)\s+)*"
+    r"(?!const\b|constexpr\b)"
+    r"[\w:]+(?:\s*<[^()]*>)?(?:[\s&*]|\bstruct\b)+\w+(?:\[\w*\])?"
+    r"\s*(?:;|=|\{)")
 
 FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:;|=|\{)")
 COMPOUND_ADD_RE = re.compile(r"(?:^|[^\w.])([\w.\->]*\b\w+)\s*[+\-*]=")
@@ -295,6 +316,13 @@ def scan_file(scan: FileScan, unordered_names: set[str],
         for pattern, msg in POINTER_KEY_PATTERNS:
             if pattern.search(line):
                 flag("DET-C", msg)
+
+        # --- DET-E: mutable static-storage data -----------------------
+        if STATIC_MUTABLE_RE.search(line):
+            flag("DET-E",
+                 "mutable static-storage variable (shared across shard "
+                 "workers and invisible to lambda capture lists; hang "
+                 "per-run state off the owning object instead)")
 
         # --- DET-D: float accumulation under hash order ---------------
         if loop_stack:

@@ -49,8 +49,10 @@ trap 'rm -rf "$TMP_DIR"' EXIT
 MICRO_JSON="$TMP_DIR/micro.json"
 WALL_LOG="$TMP_DIR/wallclock.txt"
 CACHE_LOG="$TMP_DIR/cache.txt"
+SCALE_LOG="$TMP_DIR/scale.txt"
 : > "$WALL_LOG"
 : > "$CACHE_LOG"
+: > "$SCALE_LOG"
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
@@ -65,6 +67,7 @@ for b in "$BUILD_DIR"/bench/*; do
       "$b" ${QUICK:+"$QUICK"} | tee "$TMP_DIR/out.txt"
       grep '^##WALLCLOCK ' "$TMP_DIR/out.txt" >> "$WALL_LOG" || true
       grep '^##CACHE ' "$TMP_DIR/out.txt" >> "$CACHE_LOG" || true
+      grep '^##SCALE ' "$TMP_DIR/out.txt" >> "$SCALE_LOG" || true
       ;;
   esac
 done
@@ -77,6 +80,7 @@ if command -v jq > /dev/null 2>&1; then
     --slurpfile micro_doc "$MICRO_JSON" \
     --rawfile wall "$WALL_LOG" \
     --rawfile cache "$CACHE_LOG" \
+    --rawfile scale "$SCALE_LOG" \
     --arg quick "${QUICK:-}" \
     '{
        quick: ($quick != ""),
@@ -93,6 +97,11 @@ if command -v jq > /dev/null 2>&1; then
           | add // {}),
        cache:
          ($cache | split("\n")
+          | map(select(length > 0) | split(" ")
+                | {(.[1]): (.[2] | tonumber)})
+          | add // {}),
+       scale:
+         ($scale | split("\n")
           | map(select(length > 0) | split(" ")
                 | {(.[1]): (.[2] | tonumber)})
           | add // {})

@@ -27,15 +27,82 @@ std::string toString(RingId id) {
   return buf;
 }
 
+namespace {
+/// splitmix64 finalizer — the shard hash over a physical peer's anchor
+/// vnode.  Deterministic and join-order independent (the anchor id is
+/// itself a pure function of the peer's name).
+std::uint64_t mixShard(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 Network::Network(std::size_t peerCount, std::uint64_t seed,
                  std::size_t vnodesPerPeer, LatencyModel latency)
     : vnodesPerPeer_(vnodesPerPeer), latency_(latency), rng_(seed) {
   assert(peerCount >= 1);
   assert(vnodesPerPeer >= 1);
+  // Bulk construction: generate every vnode id, sort the ring once, and
+  // build finger tables once.  The incremental path (addPeer) re-sorts
+  // and rebuilds per join — fine for churn, quadratic-and-worse for a
+  // 10k-peer ring bootstrap (n sorted inserts plus n full finger
+  // rebuilds is O(n^2 log n) probe work; this is O(n log n) up to the
+  // 64-finger constant).
   peers_.reserve(peerCount * vnodesPerPeer);
+  physicalNames_.reserve(peerCount);
+  physicalFirstVnode_.reserve(peerCount);
+  struct Vnode {
+    RingId id;
+    std::size_t physical;
+  };
+  std::vector<Vnode> vnodes;
+  vnodes.reserve(peerCount * vnodesPerPeer);
   for (std::size_t i = 0; i < peerCount; ++i) {
-    addPeer("node:" + std::to_string(nextPeerSerial_++));
+    const std::string name = "node:" + std::to_string(nextPeerSerial_++);
+    const std::size_t physical = physicalNames_.size();
+    physicalNames_.push_back(name);
+    for (std::size_t v = 0; v < vnodesPerPeer_; ++v) {
+      const RingId id = keyId("peer-id:" + name + "#" + std::to_string(v));
+      vnodes.push_back(Vnode{id, physical});
+      if (v == 0) physicalFirstVnode_.push_back(id);
+    }
   }
+  std::sort(vnodes.begin(), vnodes.end(),
+            [](const Vnode& a, const Vnode& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.physical < b.physical;  // total order on collision
+            });
+  // Resolve the (astronomically unlikely) id collision deterministically,
+  // mirroring addPeer's bump-until-free.
+  for (std::size_t k = 1; k < vnodes.size(); ++k) {
+    if (vnodes[k].id == vnodes[k - 1].id) vnodes[k].id.value += 1;
+  }
+  for (const Vnode& v : vnodes) {
+    peers_.push_back(v.id);
+    vnodeToPhysical_[v.id] = v.physical;
+  }
+  rebuildFingers();
+  setSimShards(simShardsFromEnv());
+  sched_.setLookaheadMs(latency_.minMs);
+}
+
+void Network::setSimShards(std::size_t n) {
+  if (n == 0) n = 1;
+  sched_.setShardCount(n);
+  sched_.setLookaheadMs(latency_.minMs);
+  physicalShard_.clear();
+  physicalShard_.reserve(physicalFirstVnode_.size());
+  for (const RingId anchor : physicalFirstVnode_) {
+    physicalShard_.push_back(
+        static_cast<std::uint32_t>(mixShard(anchor.value) % n));
+  }
+}
+
+std::uint32_t Network::shardOfVnode(RingId vnode) const noexcept {
+  const auto it = vnodeToPhysical_.find(vnode);
+  if (it == vnodeToPhysical_.end()) return 0;
+  return physicalShard_[it->second];
 }
 
 std::size_t Network::livePhysicalCount() const {
@@ -88,7 +155,10 @@ Network::Path Network::routePath(RingId from, RingId target) const noexcept {
     // Greedy Chord step: jump to the contact that gets clockwise-closest
     // to the target without passing it; the successor (finger[0] covers
     // +1, but we keep an explicit fallback) guarantees progress.
-    const auto& table = fingers_.at(cur);
+    const auto curIt = std::lower_bound(peers_.begin(), peers_.end(), cur);
+    assert(curIt != peers_.end() && *curIt == cur);
+    const auto& table = fingersByIdx_[static_cast<std::size_t>(
+        curIt - peers_.begin())];
     const std::uint64_t want = clockwise(cur, target);
     RingId next = cur;
     std::uint64_t best = 0;
@@ -135,25 +205,6 @@ void Network::shipPayload(RingId from, RingId to, std::size_t bytes,
   }
 }
 
-void Network::deliver(const std::vector<std::uint8_t>& wire,
-                      const RouteResult& route, double departure,
-                      const RpcHandler& handler) {
-  common::Reader r(wire);
-  RpcDelivery d;
-  d.env.payload = bufferPool_.acquire();  // reused by deserializeFrom
-  d.env.deserializeFrom(r);
-  if (!r.atEnd()) {
-    throw common::SerdeError("rpc: trailing bytes after envelope");
-  }
-  d.route = route;
-  d.sentAt = departure;
-  d.deliveredAt = sched_.now();
-  timelineMaxRound_ = std::max(timelineMaxRound_, d.env.round);
-  if (rpcTrace_) rpcTrace_(d);
-  if (handler) handler(d);
-  bufferPool_.release(std::move(d.env.payload));
-}
-
 std::uint32_t Network::allocDeliverySlot() {
   if (freeDeliverySlots_.empty()) {
     deliverySlots_.emplace_back();
@@ -162,6 +213,39 @@ std::uint32_t Network::allocDeliverySlot() {
   const std::uint32_t slot = freeDeliverySlots_.back();
   freeDeliverySlots_.pop_back();
   return slot;
+}
+
+void Network::prepSlot(std::uint32_t slot) {
+  // Shard-worker stage: a pure decode of the slot's immutable wire
+  // image into the slot's staging envelope.  The wire bytes are fixed
+  // at schedule time, the slot belongs to exactly this event until its
+  // apply, and the coordinator is blocked at the window barrier — so
+  // this touches no state shared with any other thread.  No pooled
+  // buffers here either (the pool is coordinator-only); the payload
+  // allocates on the worker and is recycled into the pool at apply.
+  DeliverySlot& s = deliverySlots_[slot];
+  common::Reader r(s.wire);
+  s.prepped.payload.clear();
+  s.prepped.deserializeFrom(r);
+  if (!r.atEnd()) {
+    std::abort();  // corrupt self-serialized envelope: unreachable
+  }
+  s.hasPrepped = true;
+}
+
+void Network::scheduleSlotDelivery(std::uint32_t slot, RingId to,
+                                   double arrival) {
+  // Serial mode skips both the shard resolution (everything is shard 0)
+  // and the prep stage (events are popped and applied directly, never
+  // window-batched, so a prep closure would just be carried and
+  // dropped).
+  if (sched_.shardCount() == 1) {
+    sched_.scheduleOn(0, arrival, [this, slot]() { deliverSlot(slot); });
+    return;
+  }
+  sched_.scheduleOn(shardOfVnode(to), arrival,
+                    [this, slot]() { deliverSlot(slot); },
+                    [this, slot]() { prepSlot(slot); });
 }
 
 void Network::deliverSlot(std::uint32_t slot) {
@@ -173,8 +257,49 @@ void Network::deliverSlot(std::uint32_t slot) {
   const RouteResult route = deliverySlots_[slot].route;
   const double departure = deliverySlots_[slot].departure;
   RpcHandler handler = std::move(deliverySlots_[slot].handler);
+  std::shared_ptr<RpcFlight> flight = std::move(deliverySlots_[slot].flight);
+  const bool hasPrepped = deliverySlots_[slot].hasPrepped;
+  RpcEnvelope prepped;
+  if (hasPrepped) {
+    prepped = std::move(deliverySlots_[slot].prepped);
+    deliverySlots_[slot].hasPrepped = false;
+  }
   freeDeliverySlots_.push_back(slot);
-  deliver(wire, route, departure, handler);
+
+  RpcDelivery d;
+  if (hasPrepped) {
+    d.env = std::move(prepped);
+  } else {
+    common::Reader r(wire);
+    d.env.payload = bufferPool_.acquire();  // reused by deserializeFrom
+    d.env.deserializeFrom(r);
+    if (!r.atEnd()) {
+      throw common::SerdeError("rpc: trailing bytes after envelope");
+    }
+  }
+
+  if (flight != nullptr) {
+    // Fault-injected delivery.  Crash-while-in-flight: if the
+    // addressee's vnode left the ring after departure, nobody is there
+    // to run the handler — drop the delivery and let the timeout retry
+    // against the current ring.
+    if (vnodeToPhysical_.find(d.env.to) == vnodeToPhysical_.end()) {
+      ++ghostDrops_;
+      bufferPool_.release(std::move(d.env.payload));
+      bufferPool_.release(std::move(wire));
+      return;
+    }
+    flight->delivered = true;
+    sched_.cancel(flight->timeoutSeq);
+  }
+
+  d.route = route;
+  d.sentAt = departure;
+  d.deliveredAt = sched_.now();
+  timelineMaxRound_ = std::max(timelineMaxRound_, d.env.round);
+  if (rpcTrace_) rpcTrace_(d);
+  if (handler) handler(d);
+  bufferPool_.release(std::move(d.env.payload));
   bufferPool_.release(std::move(wire));
 }
 
@@ -225,7 +350,7 @@ void Network::transmitWithFaults(RingId key, const RouteResult& route,
   // Real wire bytes: the handler works from the deserialized copy, and a
   // retransmission re-serializes (the envelope really crosses the wire
   // again, with its re-routed `to`).
-  common::Writer w;
+  common::Writer w(bufferPool_.acquire());
   env.serialize(w);
 
   double& nextFree = sendQueueFree_[env.from];
@@ -239,37 +364,30 @@ void Network::transmitWithFaults(RingId key, const RouteResult& route,
   mlight::common::Rng draws = attemptRng(faults_, env, attempt);
   const bool lost = draws.chance(faults_.lossProbability);
 
-  struct Flight {
-    bool delivered = false;
-    std::uint64_t timeoutSeq = 0;
-  };
-  auto flight = std::make_shared<Flight>();
+  auto flight = std::make_shared<RpcFlight>();
 
   if (!lost) {
     const double jitter =
         faults_.jitterMs > 0.0 ? draws.uniform() * faults_.jitterMs : 0.0;
-    sched_.schedule(
-        departure + route.ms + jitter,
-        [this, wire = std::move(w).take(), route, departure, handler,
-         flight]() {
-          // Crash-while-in-flight: if the addressee's vnode left the
-          // ring after departure, nobody is there to run the handler —
-          // drop the delivery and let the timeout retry against the
-          // current ring.
-          common::Reader peekReader(wire);
-          const RpcEnvelope peeked = RpcEnvelope::deserialize(peekReader);
-          if (vnodeToPhysical_.find(peeked.to) == vnodeToPhysical_.end()) {
-            ++ghostDrops_;
-            return;
-          }
-          flight->delivered = true;
-          sched_.cancel(flight->timeoutSeq);
-          deliver(wire, route, departure, handler);
-        });
+    // Guarded delivery through a pooled slot, like the fault-free path:
+    // shard-tagged with the addressee and window-preppable.  The ghost
+    // check and timeout suppression live in deliverSlot (flight set).
+    const std::uint32_t slot = allocDeliverySlot();
+    DeliverySlot& s = deliverySlots_[slot];
+    s.wire = std::move(w).take();
+    s.route = route;
+    s.departure = departure;
+    s.handler = handler;
+    s.flight = flight;
+    scheduleSlotDelivery(slot, env.to, departure + route.ms + jitter);
+  } else {
+    bufferPool_.release(std::move(w).take());
   }
 
-  flight->timeoutSeq = sched_.schedule(
-      departure + rpcTimeoutMs(attempt, route.ms),
+  // The timeout executes "at" the sender (its shard), like the
+  // retransmission it triggers.
+  flight->timeoutSeq = sched_.scheduleOn(
+      shardOfVnode(env.from), departure + rpcTimeoutMs(attempt, route.ms),
       [this, key, env = std::move(env), handler = std::move(handler),
        onFail = std::move(onFail), attempt, flight]() mutable {
         if (flight->delivered) return;
@@ -335,7 +453,7 @@ RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler,
   s.route = route;
   s.departure = departure;
   s.handler = std::move(handler);
-  sched_.schedule(arrival, [this, slot]() { deliverSlot(slot); });
+  scheduleSlotDelivery(slot, env.to, arrival);
   return route;
 }
 
@@ -370,6 +488,9 @@ RingId Network::addPeer(std::string_view name) {
     vnodeToPhysical_[id] = physical;
     if (v == 0) first = id;
   }
+  physicalFirstVnode_.push_back(first);
+  physicalShard_.push_back(static_cast<std::uint32_t>(
+      mixShard(first.value) % sched_.shardCount()));
   rebuildFingers();
   const MembershipChange change{MembershipChange::Kind::kJoin, {}};
   for (const auto& [handle, fn] : stores_) fn(change);
@@ -423,9 +544,14 @@ void Network::rebuildFingers() {
     for (const RingId p : peers_) positions.push_back(p.value);
     mlight::common::auditRingOrder(positions);
   }
-  fingers_.clear();
-  for (RingId p : peers_) {
-    std::vector<RingId>& table = fingers_[p];
+  // Tables are indexed by ring position; inner vectors keep their
+  // capacity across rebuilds (churn rebuilds fingers on every
+  // membership change).
+  fingersByIdx_.resize(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const RingId p = peers_[i];
+    std::vector<RingId>& table = fingersByIdx_[i];
+    table.clear();
     table.reserve(64);
     RingId last{p.value};  // sentinel: skip duplicate fingers
     for (int k = 0; k < 64; ++k) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -234,6 +235,36 @@ class Network {
     d.feed(sched_.now());
   }
 
+  // --- Sharded execution ------------------------------------------------
+  //
+  // Peers are partitioned into N shards by a deterministic hash of the
+  // physical peer's first vnode RingId (all vnodes of one physical peer
+  // share a shard, so co-located zero-latency links never cross a shard
+  // boundary).  Every scheduled event is tagged with the shard of the
+  // peer it executes at — deliveries with the addressee's shard,
+  // timeouts with the sender's — and the scheduler's window executor
+  // preps each shard's events on its own worker thread before applying
+  // everything in canonical global order (see sim.h).  N=1 (the
+  // default) is the serial executor; any N is bit-identical to it.
+
+  /// Installs the shard count (reads MLIGHT_SIM_SHARDS at construction;
+  /// this setter lets tests and benches sweep programmatically).  Call
+  /// on a quiet network, before issuing traffic.
+  void setSimShards(std::size_t n);
+  std::size_t simShards() const noexcept { return sched_.shardCount(); }
+
+  /// Shard owning the physical peer of ring position `vnode` (0 when
+  /// the vnode has left the ring — the executor only needs a stable tag
+  /// at schedule time).
+  std::uint32_t shardOfVnode(RingId vnode) const noexcept;
+
+  /// Windows the sharded executor has run / prep stages executed on
+  /// shard workers (witnesses for the shard matrix test and TSan CI).
+  std::uint64_t simWindowCount() const noexcept { return sched_.windowCount(); }
+  std::uint64_t simParallelPreps() const noexcept {
+    return sched_.parallelPreps();
+  }
+
   /// Marks the start of a measured operation: drains messages still in
   /// flight from prior operations, clears per-sender send backlogs, and
   /// resets the round high-water mark.  Returns now() — the operation's
@@ -384,23 +415,39 @@ class Network {
   };
   Path routePath(RingId from, RingId target) const noexcept;
 
-  /// Runs the delivered envelope through trace + handler (shared tail of
-  /// the fault-free and fault-injected delivery paths).
-  void deliver(const std::vector<std::uint8_t>& wire, const RouteResult& route,
-               double departure, const RpcHandler& handler);
+  /// Reliable-send bookkeeping shared by one attempt's delivery and
+  /// timeout events (fault injection only).
+  struct RpcFlight {
+    bool delivered = false;
+    std::uint64_t timeoutSeq = 0;
+  };
 
-  /// In-flight state of one fault-free message, parked in a pooled slot
-  /// so the scheduled closure captures only {this, slot} — small enough
-  /// for std::function's inline buffer, which keeps the scheduler's
-  /// event nodes allocation-free (see SimScheduler::schedule).
+  /// In-flight state of one message, parked in a pooled slot so the
+  /// scheduled closure captures only {this, slot} — small enough for
+  /// std::function's inline buffer, which keeps the scheduler's event
+  /// nodes allocation-free (see SimScheduler::schedule).  `prepped`
+  /// holds the envelope decoded off the wire by the shard worker during
+  /// a window's prep phase; when the event fires unprepped (serial mode,
+  /// or scheduled into an already-open window) the decode happens
+  /// inline at apply time instead.
   struct DeliverySlot {
     std::vector<std::uint8_t> wire;
     RouteResult route{};
     double departure = 0.0;
     RpcHandler handler;
+    RpcEnvelope prepped;
+    bool hasPrepped = false;
+    std::shared_ptr<RpcFlight> flight;  // null on the fault-free path
   };
   std::uint32_t allocDeliverySlot();
   void deliverSlot(std::uint32_t slot);
+  /// Window prep stage for slot deliveries: decodes the slot's wire
+  /// image into `prepped`.  Runs on the owning shard's worker thread;
+  /// touches nothing but the slot (see SimScheduler::PrepFn).
+  void prepSlot(std::uint32_t slot);
+  /// Schedules the slot's delivery at `arrival`, tagged with the
+  /// addressee's shard and carrying the prep stage.
+  void scheduleSlotDelivery(std::uint32_t slot, RingId to, double arrival);
   /// One transmission attempt under fault injection (attempt 0 = the
   /// original send); schedules the guarded delivery plus its timeout.
   void transmitWithFaults(RingId key, const RouteResult& route,
@@ -412,9 +459,19 @@ class Network {
   double rpcTimeoutMs(std::size_t attempt, double routeMs) const noexcept;
 
   std::vector<RingId> peers_;                       // vnodes, ring order
-  std::map<RingId, std::vector<RingId>> fingers_;   // per-vnode fingers
+  /// Finger tables aligned with peers_ (fingersByIdx_[i] belongs to
+  /// peers_[i]) — index lookup is one lower_bound on the sorted ring,
+  /// cheaper and cache-friendlier than the former RingId-keyed map on
+  /// the routePath hot loop.
+  std::vector<std::vector<RingId>> fingersByIdx_;
   std::map<RingId, std::size_t> vnodeToPhysical_;   // vnode -> peer index
   std::vector<std::string> physicalNames_;          // by peer index
+  /// First (v == 0) vnode of each physical peer, by peer index — the
+  /// stable anchor the shard hash keys on.
+  std::vector<RingId> physicalFirstVnode_;
+  /// Shard of each physical peer, by peer index; rebuilt whenever the
+  /// shard count changes, appended on join.
+  std::vector<std::uint32_t> physicalShard_;
   std::size_t vnodesPerPeer_ = 1;
   LatencyModel latency_;
   std::vector<std::pair<std::uint64_t, RebalanceFn>> stores_;

@@ -57,43 +57,82 @@ void DstIndex::insert(const Record& record) {
   // per level — the maintenance price of DST's O(1) queries.  The levels
   // form a continuation chain (each handler issues the next level one
   // round deeper); the saturation check runs at the owning peer, against
-  // the owner's copy of the node.
-  std::function<void(std::size_t, std::uint32_t)> visitLevel =
-      [&](std::size_t level, std::uint32_t round) {
-        const Label label = path.prefix(level * config_.dims);
-        store_.asyncVisit(
-            initiator, label, round,
-            [&, label, level](DstNode* node,
-                              const mlight::dht::RpcDelivery& d) {
-              const bool isLeafLevel = (level == levels());
-              if (node == nullptr) {
-                DstNode fresh;
-                fresh.label = label;
-                fresh.records.push_back(record);
-                net_->shipPayload(initiator, d.route.owner,
-                                  record.byteSize(), 1);
-                store_.placeLocal(label, std::move(fresh));
-              } else if (isLeafLevel) {
-                node->records.push_back(record);
-                net_->shipPayload(initiator, d.route.owner,
-                                  record.byteSize(), 1);
-              } else if (node->complete) {
-                if (node->records.size() >= config_.gamma) {
-                  // This record does not fit: the node's replica set is
-                  // no longer the full contents of its region.
-                  node->complete = false;
-                } else {
-                  node->records.push_back(record);
-                  net_->shipPayload(initiator, d.route.owner,
-                                    record.byteSize(), 1);
-                }
-              }  // else: saturated long ago; skip
-              if (level < levels()) visitLevel(level + 1, d.env.round + 1);
-            });
-      };
-  visitLevel(0, 1);
+  // the owner's copy of the node.  `record` and `path` stay alive for
+  // the whole chain: the continuations all run inside net_->run() below.
+  insertAtLevel(record, initiator, path, 0, 1);
   net_->run();
   ++size_;
+}
+
+void DstIndex::insertAtLevel(const Record& record,
+                             mlight::dht::RingId initiator, const Label& path,
+                             std::size_t level, std::uint32_t round) {
+  const Label label = path.prefix(level * config_.dims);
+  store_.asyncVisit(
+      initiator, label, round,
+      [this, &record, &path, initiator, label, level](
+          DstNode* node, const mlight::dht::RpcDelivery& d) {
+        const bool isLeafLevel = (level == levels());
+        if (node == nullptr) {
+          DstNode fresh;
+          fresh.label = label;
+          fresh.records.push_back(record);
+          net_->shipPayload(initiator, d.route.owner, record.byteSize(), 1);
+          store_.placeLocal(label, std::move(fresh));
+        } else if (isLeafLevel) {
+          node->records.push_back(record);
+          net_->shipPayload(initiator, d.route.owner, record.byteSize(), 1);
+        } else if (node->complete) {
+          if (node->records.size() >= config_.gamma) {
+            // This record does not fit: the node's replica set is
+            // no longer the full contents of its region.
+            node->complete = false;
+          } else {
+            node->records.push_back(record);
+            net_->shipPayload(initiator, d.route.owner, record.byteSize(), 1);
+          }
+        }  // else: saturated long ago; skip
+        if (level < levels()) {
+          insertAtLevel(record, initiator, path, level + 1, d.env.round + 1);
+        }
+      });
+}
+
+void DstIndex::probeRange(const Rect& clipped, const Label& label,
+                          mlight::dht::RingId source, std::uint32_t round,
+                          std::vector<Record>& out) {
+  store_.asyncGet(
+      source, label, round,
+      [this, &clipped, &out, label](DstNode* node,
+                                    const mlight::dht::RpcDelivery& d) {
+        if (node == nullptr) return;  // empty region
+        if (node->complete) {
+          collectInRange(*node, clipped, out);
+          return;
+        }
+        // Saturated: replica set incomplete, descend one level.  Child
+        // cells derive from the node's cell by m halvings — the same
+        // composition cellOfPath performs, at a fraction of the cost of
+        // re-walking each child label.
+        const Rect nodeCell = cellOfPath(label, config_.dims);
+        const std::size_t fan = std::size_t{1} << config_.dims;
+        for (std::size_t child = 0; child < fan; ++child) {
+          Label childLabel = label;
+          Rect childCell = nodeCell;
+          for (std::size_t b = 0; b < config_.dims; ++b) {
+            const bool bit = (child >> (config_.dims - 1 - b)) & 1u;
+            childCell = childCell.halved(
+                mlight::common::dimensionAtDepth(label.size() + b,
+                                                 config_.dims),
+                bit);
+            childLabel.pushBack(bit);
+          }
+          if (childCell.intersects(clipped)) {
+            probeRange(clipped, childLabel, d.route.owner, d.env.round + 1,
+                       out);
+          }
+        }
+      });
 }
 
 std::size_t DstIndex::erase(const Point& key, std::uint64_t id) {
@@ -139,8 +178,11 @@ mlight::index::PointResult DstIndex::pointQuery(const Point& key) {
 }
 
 void DstIndex::decomposeInto(const Rect& range, const Label& node,
-                             std::vector<Label>& out) const {
-  const Rect cell = cellOfPath(node, config_.dims);
+                             const Rect& cell, std::vector<Label>& out) const {
+  // `cell` is cellOfPath(node, dims), threaded down the recursion so each
+  // child costs m halvings instead of re-walking the whole label (the
+  // halvings compose exactly as cellOfPath computes them, so the
+  // geometry is bit-identical to the from-scratch walk).
   if (!cell.intersects(range)) return;
   if (range.containsRect(cell) || node.size() >= config_.maxDepth) {
     out.push_back(node);
@@ -150,16 +192,21 @@ void DstIndex::decomposeInto(const Rect& range, const Label& node,
   const std::size_t fan = std::size_t{1} << config_.dims;
   for (std::size_t child = 0; child < fan; ++child) {
     Label childLabel = node;
+    Rect childCell = cell;
     for (std::size_t b = 0; b < config_.dims; ++b) {
-      childLabel.pushBack((child >> (config_.dims - 1 - b)) & 1u);
+      const bool bit = (child >> (config_.dims - 1 - b)) & 1u;
+      childCell = childCell.halved(
+          mlight::common::dimensionAtDepth(node.size() + b, config_.dims),
+          bit);
+      childLabel.pushBack(bit);
     }
-    decomposeInto(range, childLabel, out);
+    decomposeInto(range, childLabel, childCell, out);
   }
 }
 
 std::vector<DstIndex::Label> DstIndex::decompose(const Rect& range) const {
   std::vector<Label> out;
-  decomposeInto(range, Label{}, out);
+  decomposeInto(range, Label{}, Rect::unit(config_.dims), out);
   return out;
 }
 
@@ -180,34 +227,11 @@ mlight::index::RangeResult DstIndex::rangeQuery(const Rect& range) {
   // The canonical decomposition is computed locally (the tree is static),
   // then every canonical node is one parallel probe RPC away: O(1)
   // rounds unless saturation forces descents, which chain one round
-  // deeper per level from the probed node's owner.
-  std::function<void(const Label&, mlight::dht::RingId, std::uint32_t)>
-      probe = [&](const Label& label, mlight::dht::RingId source,
-                  std::uint32_t round) {
-        store_.asyncGet(
-            source, label, round,
-            [&, label](DstNode* node, const mlight::dht::RpcDelivery& d) {
-              if (node == nullptr) return;  // empty region
-              if (node->complete) {
-                collectInRange(*node, clipped, out.records);
-                return;
-              }
-              // Saturated: replica set incomplete, descend one level.
-              const std::size_t fan = std::size_t{1} << config_.dims;
-              for (std::size_t child = 0; child < fan; ++child) {
-                Label childLabel = label;
-                for (std::size_t b = 0; b < config_.dims; ++b) {
-                  childLabel.pushBack((child >> (config_.dims - 1 - b)) & 1u);
-                }
-                if (cellOfPath(childLabel, config_.dims)
-                        .intersects(clipped)) {
-                  probe(childLabel, d.route.owner, d.env.round + 1);
-                }
-              }
-            });
-      };
+  // deeper per level from the probed node's owner.  `clipped` and
+  // `out.records` stay alive for the whole chain: the continuations all
+  // run inside net_->run() below.
   for (Label& label : decompose(clipped)) {
-    probe(label, initiator, 1);
+    probeRange(clipped, label, initiator, 1, out.records);
   }
 
   net_->run();

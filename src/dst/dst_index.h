@@ -116,7 +116,13 @@ class DstIndex final : public mlight::index::IndexBase {
 
  private:
   mlight::dht::RingId randomPeer();
-  void decomposeInto(const Rect& range, const Label& node,
+  void insertAtLevel(const Record& record, mlight::dht::RingId initiator,
+                     const Label& path, std::size_t level,
+                     std::uint32_t round);
+  void probeRange(const Rect& clipped, const Label& label,
+                  mlight::dht::RingId source, std::uint32_t round,
+                  std::vector<Record>& out);
+  void decomposeInto(const Rect& range, const Label& node, const Rect& cell,
                      std::vector<Label>& out) const;
 
   mlight::dht::Network* net_;

@@ -105,21 +105,34 @@ class DistributedStore {
 
   std::size_t replication() const noexcept { return replication_; }
 
+  /// Hard cap on distinct labels memoized by ringKey() below.  Workloads
+  /// with mostly-unique labels (DST leaf cells under a deep static tree)
+  /// would otherwise grow the memo without bound: the hash table's
+  /// rehash and teardown costs come to dominate the run while the hit
+  /// rate approaches zero.  Hot label sets (bucket labels, trie probe
+  /// prefixes) are orders of magnitude smaller than this cap, so the
+  /// workloads that benefit from the memo keep their hits.
+  static constexpr std::size_t kRingKeyCacheCap = std::size_t{1} << 17;
+
   /// Ring position of a label's DHT key (salt 0 = primary key; higher
   /// salts are candidate replica keys).  Labels are immutable and the
   /// naming function is pure, so the label→id mapping is computed once
-  /// per (label, salt) and cached forever — the hot path of every locate
-  /// probe and forwarding step no longer rebuilds strings and rehashes.
+  /// per (label, salt) and cached (up to kRingKeyCacheCap labels) — the
+  /// hot path of every locate probe and forwarding step no longer
+  /// rebuilds strings and rehashes.  Ids for uncached labels are
+  /// computed directly; caching is invisible to the simulation either
+  /// way (the naming function is pure).
   RingId ringKey(const Label& label, std::size_t salt = 0) const {
-    std::vector<RingId>& salts = ringKeyCache_[label];
-    while (salts.size() <= salt) {
-      const std::size_t s = salts.size();
-      if (s == 0) {
-        salts.push_back(mlight::dht::keyId(ns_ + label.toString()));
-      } else {
-        salts.push_back(mlight::dht::keyId(ns_ + label.toString() + "#r" +
-                                           std::to_string(s)));
+    auto cached = ringKeyCache_.find(label);
+    if (cached == ringKeyCache_.end()) {
+      if (ringKeyCache_.size() >= kRingKeyCacheCap) {
+        return computeRingKey(label, salt);
       }
+      cached = ringKeyCache_.try_emplace(label).first;
+    }
+    std::vector<RingId>& salts = cached->second;
+    while (salts.size() <= salt) {
+      salts.push_back(computeRingKey(label, salts.size()));
     }
     return salts[salt];
   }
@@ -534,6 +547,24 @@ class DistributedStore {
     Bucket bucket;
   };
 
+  /// The naming function behind ringKey(): "<ns><label bits>" for the
+  /// primary key, with "#r<salt>" appended for replica keys.  Built into
+  /// a reusable scratch buffer — on cache-miss-heavy workloads this runs
+  /// once per RPC, and the string temporaries of the naive
+  /// concatenation were a measurable share of the run.
+  RingId computeRingKey(const Label& label, std::size_t salt) const {
+    std::string& key = keyScratch_;
+    key.assign(ns_);
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      key.push_back(label.bit(i) ? '1' : '0');
+    }
+    if (salt != 0) {
+      key += "#r";
+      key += std::to_string(salt);
+    }
+    return mlight::dht::keyId(key);
+  }
+
   static bool holdsCopy(const Entry& entry, RingId vnode) {
     return std::find_if(entry.copies.begin(), entry.copies.end(),
                         [&](const CopyTarget& t) {
@@ -755,6 +786,9 @@ class DistributedStore {
   mutable std::unordered_map<Label, std::vector<RingId>,
                              mlight::common::BitStringHash>
       ringKeyCache_;
+  /// Scratch for computeRingKey() — reused so uncached key derivations
+  /// allocate nothing in steady state.
+  mutable std::string keyScratch_;
 };
 
 }  // namespace mlight::store

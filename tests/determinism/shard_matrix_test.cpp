@@ -1,0 +1,291 @@
+// Shard-matrix certification of the sharded event core.
+//
+// The executor contract (docs/THEORY.md, "Sharded time-window
+// execution") is stronger than digest equality: because handler
+// application is serialized at the window barrier in canonical
+// (time, tie, seq) order, a run under N shards must be BIT-IDENTICAL to
+// the serial run — same state digests, same query answers, and even the
+// same order-sensitive delivery trace.  The only thing allowed to vary
+// with N is host-side bookkeeping (window counts, parallel prep work).
+//
+// This matrix holds the core to that claim across
+//
+//     shards {1, 2, 4, 8}  x  shuffle seeds {0, 17, 71}  x  3 workloads
+//
+// where the workloads are the adversarial trio from
+// schedule_perturbation_test.cpp in trimmed form: maintenance traffic
+// with replication, range queries with the hint cache on, and
+// fault-seeded churn.  All on the constant-latency LAN model, whose
+// same-time tie collisions are exactly what the barrier merge must keep
+// in canonical order.
+//
+// Every run pins its shard count explicitly, so the matrix means the
+// same thing whether or not CI exports MLIGHT_SIM_SHARDS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/digest.h"
+#include "dht/network.h"
+#include "dst/dst_index.h"
+#include "mlight/index.h"
+#include "pht/pht_index.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace mlight {
+namespace {
+
+using dht::FaultModel;
+using dht::LatencyModel;
+using dht::Network;
+using dht::RpcDelivery;
+
+/// Constant-latency LAN (2 ms links, 1 ms send overhead): chains of
+/// different depth collide constantly, so both the tie shuffle and the
+/// barrier merge are exercised on every run.
+LatencyModel lanModel() { return LatencyModel{2.0, 2.0, 1.0}; }
+
+struct RunOutcome {
+  // Must be bit-identical across the whole shard axis:
+  std::vector<std::uint64_t> indexDigests;
+  std::uint64_t netDigest = 0;
+  std::vector<std::vector<std::uint64_t>> queryAnswers;  ///< sorted ids
+  std::uint64_t timelineFingerprint = 0;
+  std::uint64_t tieDeliveries = 0;
+  // Host-side executor bookkeeping (varies with shards by design):
+  std::uint64_t windows = 0;
+  std::uint64_t parallelPreps = 0;
+};
+
+void traceIntoDigest(Network& net, common::Digest* fp) {
+  net.setRpcTrace([fp](const RpcDelivery& d) {
+    fp->feed(d.env.id);
+    fp->feed(static_cast<std::uint64_t>(d.env.kind));
+    fp->feed(d.env.from.value);
+    fp->feed(d.env.to.value);
+    fp->feed(d.env.round);
+    fp->feed(d.env.payload.size());
+    fp->feed(d.sentAt);
+    fp->feed(d.deliveredAt);
+  });
+}
+
+std::vector<std::uint64_t> sortedIds(const index::RangeResult& res) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(res.records.size());
+  for (const auto& r : res.records) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// The full bit-identical comparison: everything except the executor's
+/// host-side bookkeeping must match.
+void expectIdentical(const RunOutcome& base, const RunOutcome& run,
+                     const std::string& label) {
+  EXPECT_EQ(base.indexDigests, run.indexDigests) << label;
+  EXPECT_EQ(base.netDigest, run.netDigest) << label;
+  EXPECT_EQ(base.queryAnswers, run.queryAnswers) << label;
+  EXPECT_EQ(base.timelineFingerprint, run.timelineFingerprint) << label;
+  EXPECT_EQ(base.tieDeliveries, run.tieDeliveries) << label;
+}
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+constexpr std::uint64_t kShuffleSeeds[] = {0, 17, 71};
+
+// --- Workload 1: maintenance (m-LIGHT with replication + PHT) -----------
+RunOutcome runMaintenance(std::size_t shards, std::uint64_t shuffleSeed) {
+  Network net(32, /*seed=*/7, /*vnodesPerPeer=*/1, lanModel());
+  net.setSimShards(shards);
+  net.setScheduleShuffleSeed(shuffleSeed);
+  common::Digest fp;
+  traceIntoDigest(net, &fp);
+
+  core::MLightConfig mcfg;
+  mcfg.thetaSplit = 16;
+  mcfg.thetaMerge = 8;
+  mcfg.replication = 2;  // replica pushes from different owners => ties
+  core::MLightIndex mlight(net, mcfg);
+
+  pht::PhtConfig pcfg;
+  pcfg.thetaSplit = 16;
+  pcfg.thetaMerge = 8;
+  pht::PhtIndex pht(net, pcfg);
+
+  const auto data = workload::northeastDataset(300, 11);
+  for (const auto& r : data) {
+    mlight.insert(r);
+    pht.insert(r);
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    mlight.erase(data[i].key, data[i].id);
+    pht.erase(data[i].key, data[i].id);
+  }
+  mlight.checkInvariants();
+  pht.checkInvariants();
+
+  RunOutcome out;
+  out.indexDigests = {mlight.stateDigest(), pht.stateDigest()};
+  common::Digest nd;
+  net.digestState(nd);
+  out.netDigest = nd.value();
+  out.timelineFingerprint = fp.value();
+  out.tieDeliveries = net.schedulerTieDeliveries();
+  out.windows = net.simWindowCount();
+  out.parallelPreps = net.simParallelPreps();
+  return out;
+}
+
+// --- Workload 2: range queries with the hint cache on -------------------
+RunOutcome runRangeQueries(std::size_t shards, std::uint64_t shuffleSeed) {
+  Network net(32, /*seed=*/9, /*vnodesPerPeer=*/1, lanModel());
+  net.setSimShards(shards);
+  net.setScheduleShuffleSeed(shuffleSeed);
+  common::Digest fp;
+  traceIntoDigest(net, &fp);
+
+  core::MLightConfig mcfg;
+  mcfg.thetaSplit = 16;
+  mcfg.thetaMerge = 8;
+  mcfg.cache.enabled = true;  // LRU hint state rides the matrix too
+  core::MLightIndex mlight(net, mcfg);
+
+  dst::DstConfig dcfg;
+  dcfg.gamma = 16;
+  dcfg.maxDepth = 16;  // 8 quad levels: wide same-round reply races
+  dst::DstIndex dstIndex(net, dcfg);
+
+  const auto data = workload::uniformDataset(400, 2, 12);
+  mlight.bulkLoad(data);
+  for (std::size_t i = 0; i < 200; ++i) dstIndex.insert(data[i]);
+
+  RunOutcome out;
+  for (const double span : {0.05, 0.30}) {
+    for (const auto& q : workload::uniformRangeQueries(2, 2, span, 31)) {
+      out.queryAnswers.push_back(sortedIds(mlight.rangeQuery(q)));
+      out.queryAnswers.push_back(sortedIds(dstIndex.rangeQuery(q)));
+    }
+  }
+  mlight.checkInvariants();
+  dstIndex.checkInvariants();
+
+  out.indexDigests = {mlight.stateDigest(), dstIndex.stateDigest()};
+  common::Digest nd;
+  net.digestState(nd);
+  out.netDigest = nd.value();
+  out.timelineFingerprint = fp.value();
+  out.tieDeliveries = net.schedulerTieDeliveries();
+  out.windows = net.simWindowCount();
+  out.parallelPreps = net.simParallelPreps();
+  return out;
+}
+
+// --- Workload 3: fault-seeded churn -------------------------------------
+RunOutcome runChurnWithFaults(std::size_t shards, std::uint64_t shuffleSeed) {
+  Network net(48, /*seed=*/5, /*vnodesPerPeer=*/1, lanModel());
+  net.setSimShards(shards);
+  net.setScheduleShuffleSeed(shuffleSeed);
+  FaultModel faults;
+  faults.enabled = true;
+  faults.lossProbability = 0.01;
+  faults.jitterMs = 0.0;  // keep deliveries on the tie-heavy grid
+  faults.maxAttempts = 8;
+  faults.seed = 20260805;
+  net.setFaultModel(faults);
+  common::Digest fp;
+  traceIntoDigest(net, &fp);
+
+  core::MLightConfig mcfg;
+  mcfg.thetaSplit = 16;
+  mcfg.thetaMerge = 8;
+  mcfg.replication = 2;
+  core::MLightIndex mlight(net, mcfg);
+
+  const auto data = workload::uniformDataset(350, 2, 21);
+  const auto queries = workload::uniformRangeQueries(4, 2, 0.25, 22);
+
+  RunOutcome out;
+  auto query = [&](const common::Rect& q) {
+    out.queryAnswers.push_back(sortedIds(mlight.rangeQuery(q)));
+  };
+
+  for (std::size_t i = 0; i < 150; ++i) mlight.insert(data[i]);
+  query(queries[0]);
+  net.addPeer("matrix-joiner-a");
+  for (std::size_t i = 150; i < 250; ++i) mlight.insert(data[i]);
+  net.crashPeer(net.peers()[11]);  // replication absorbs the crash
+  query(queries[1]);
+  net.removePeer(net.peers()[3]);
+  for (std::size_t i = 250; i < data.size(); ++i) mlight.insert(data[i]);
+  net.crashPeer(net.peers()[29]);
+  query(queries[2]);
+  for (std::size_t i = 0; i < 30; ++i) mlight.erase(data[i].key, data[i].id);
+  query(queries[3]);
+  mlight.checkInvariants();
+
+  out.indexDigests = {mlight.stateDigest()};
+  common::Digest nd;
+  net.digestState(nd);
+  out.netDigest = nd.value();
+  out.timelineFingerprint = fp.value();
+  out.tieDeliveries = net.schedulerTieDeliveries();
+  out.windows = net.simWindowCount();
+  out.parallelPreps = net.simParallelPreps();
+  return out;
+}
+
+using WorkloadFn = RunOutcome (*)(std::size_t, std::uint64_t);
+
+/// Drives one workload across the full shards x seeds matrix.  For each
+/// shuffle seed the serial (1-shard) run is the reference; every sharded
+/// run must reproduce it bit-for-bit, and must show evidence that the
+/// window machinery actually engaged.
+void runMatrix(WorkloadFn workload, const char* name) {
+  for (const std::uint64_t seed : kShuffleSeeds) {
+    const RunOutcome serial = workload(1, seed);
+    EXPECT_EQ(serial.windows, 0u) << name << ": serial path opened windows";
+    EXPECT_EQ(serial.parallelPreps, 0u);
+    for (const std::size_t shards : kShardCounts) {
+      if (shards == 1) continue;
+      const RunOutcome sharded = workload(shards, seed);
+      const std::string label = std::string(name) + ", shards " +
+                                std::to_string(shards) + ", seed " +
+                                std::to_string(seed);
+      expectIdentical(serial, sharded, label);
+      // Engagement witnesses: the run was window-batched and worker
+      // shards really prepped events — a sharded run that degenerated
+      // to the serial path would certify nothing.
+      EXPECT_GT(sharded.windows, 0u) << label;
+      EXPECT_GT(sharded.parallelPreps, 0u) << label;
+    }
+  }
+}
+
+TEST(ShardMatrix, MaintenanceBitIdenticalAcrossShards) {
+  runMatrix(&runMaintenance, "maintenance");
+}
+
+TEST(ShardMatrix, RangeQueriesBitIdenticalAcrossShards) {
+  runMatrix(&runRangeQueries, "range-queries");
+}
+
+TEST(ShardMatrix, ChurnWithFaultsBitIdenticalAcrossShards) {
+  runMatrix(&runChurnWithFaults, "churn-faults");
+}
+
+// The environment knob reaches the executor: a Network built under
+// MLIGHT_SIM_SHARDS=k starts sharded, exactly as CI's sweep expects.
+TEST(ShardMatrix, EnvironmentShardsReachScheduler) {
+  ASSERT_EQ(setenv("MLIGHT_SIM_SHARDS", "4", 1), 0);
+  Network net(4, 1, 1, lanModel());
+  EXPECT_EQ(net.simShards(), 4u);
+  ASSERT_EQ(unsetenv("MLIGHT_SIM_SHARDS"), 0);
+  Network fresh(4, 1, 1, lanModel());
+  EXPECT_EQ(fresh.simShards(), 1u);
+}
+
+}  // namespace
+}  // namespace mlight

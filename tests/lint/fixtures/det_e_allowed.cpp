@@ -1,0 +1,30 @@
+// Lint fixture twin: the same DET-E patterns, waived with DET-ALLOW —
+// MUST pass clean.  Const and constexpr statics are not shared *mutable*
+// state and never trigger the rule in the first place.
+// Never compiled — lint fodder only.
+#include <cstdint>
+#include <functional>
+
+class AllowedSharedStatic {
+ public:
+  std::function<void()> makeHandler() {
+    return [this]() { lastBatch_ = nextBatchId(); };
+  }
+
+ private:
+  static std::uint64_t nextBatchId() {
+    // DET-ALLOW(process-wide diagnostic id; never simulation-visible)
+    static std::uint64_t counter = 0;
+    return ++counter;
+  }
+
+  std::uint64_t lastBatch_ = 0;
+};
+
+namespace detail {
+// DET-ALLOW(worker-local scratch; reset before every window)
+static thread_local int scratchDepth = 0;
+
+static constexpr std::uint64_t kWindowMask = 0xFFull;  // const: no rule
+static const int kDefaultDepth = 4;                    // const: no rule
+}  // namespace detail

@@ -1,0 +1,26 @@
+// Lint fixture: MUST trigger DET-E (mutable static-storage data) and no
+// other rule.  The static counter is shared by every shard worker yet
+// appears in no capture list — a handler lambda bumping it races under
+// the parallel prep phase and leaks ordering even when serial.
+// Never compiled — lint fodder only.
+#include <cstdint>
+#include <functional>
+
+class BadSharedStatic {
+ public:
+  std::function<void()> makeHandler() {
+    return [this]() { lastBatch_ = nextBatchId(); };
+  }
+
+ private:
+  static std::uint64_t nextBatchId() {
+    static std::uint64_t counter = 0;
+    return ++counter;
+  }
+
+  std::uint64_t lastBatch_ = 0;
+};
+
+namespace detail {
+static thread_local int scratchDepth = 0;
+}  // namespace detail

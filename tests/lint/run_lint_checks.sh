@@ -29,7 +29,7 @@ case "$mode" in
     python3 "$LINT" || fail=1
     ;;
   fixtures)
-    for rule in A B C D; do
+    for rule in A B C D E; do
       lower=$(printf '%s' "$rule" | tr 'A-Z' 'a-z')
       bad="$FIXTURES/det_${lower}_bad.cpp"
       allowed="$FIXTURES/det_${lower}_allowed.cpp"
