@@ -5,6 +5,7 @@
 // by BENCH_PERF.json.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <unordered_map>
 
 #include "common/rng.h"
@@ -257,6 +258,29 @@ void BM_MLightInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MLightInsert);
+
+// Batched counterpart of BM_MLightInsert: one iteration consumes a
+// whole 64-record batch through the kBatchPut path, so time/64 is the
+// amortized per-record cost the BENCH_PERF batch: section tracks.
+void BM_MLightInsertBatch(benchmark::State& state) {
+  dht::Network net(128, 7);
+  core::MLightConfig cfg;
+  cfg.thetaSplit = 100;
+  cfg.thetaMerge = 50;
+  core::MLightIndex idx(net, cfg);
+  auto data = workload::northeastDataset(200000, 8);
+  const std::size_t kBatch = 64;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i + kBatch > data.size()) i = 0;
+    idx.insertBatched(
+        std::span<const index::Record>(data.data() + i, kBatch), kBatch);
+    i += kBatch;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_MLightInsertBatch);
 
 void BM_MLightRangeQuery(benchmark::State& state) {
   dht::Network net(128, 9);

@@ -50,9 +50,11 @@ MICRO_JSON="$TMP_DIR/micro.json"
 WALL_LOG="$TMP_DIR/wallclock.txt"
 CACHE_LOG="$TMP_DIR/cache.txt"
 SCALE_LOG="$TMP_DIR/scale.txt"
+BATCH_LOG="$TMP_DIR/batch.txt"
 : > "$WALL_LOG"
 : > "$CACHE_LOG"
 : > "$SCALE_LOG"
+: > "$BATCH_LOG"
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
@@ -68,6 +70,7 @@ for b in "$BUILD_DIR"/bench/*; do
       grep '^##WALLCLOCK ' "$TMP_DIR/out.txt" >> "$WALL_LOG" || true
       grep '^##CACHE ' "$TMP_DIR/out.txt" >> "$CACHE_LOG" || true
       grep '^##SCALE ' "$TMP_DIR/out.txt" >> "$SCALE_LOG" || true
+      grep '^##BATCH ' "$TMP_DIR/out.txt" >> "$BATCH_LOG" || true
       ;;
   esac
 done
@@ -81,6 +84,7 @@ if command -v jq > /dev/null 2>&1; then
     --rawfile wall "$WALL_LOG" \
     --rawfile cache "$CACHE_LOG" \
     --rawfile scale "$SCALE_LOG" \
+    --rawfile batch "$BATCH_LOG" \
     --arg quick "${QUICK:-}" \
     '{
        quick: ($quick != ""),
@@ -102,6 +106,11 @@ if command -v jq > /dev/null 2>&1; then
           | add // {}),
        scale:
          ($scale | split("\n")
+          | map(select(length > 0) | split(" ")
+                | {(.[1]): (.[2] | tonumber)})
+          | add // {}),
+       batch:
+         ($batch | split("\n")
           | map(select(length > 0) | split(" ")
                 | {(.[1]): (.[2] | tonumber)})
           | add // {})

@@ -8,12 +8,12 @@
 // standard containers, and a compact binary serialization.
 //
 // Representation: small-buffer optimized.  Labels of up to kInlineBits
-// (128) bits — deeper than any benchmark workload reaches (D = 28 paths
-// over m <= 8 dimensions) — live entirely inside the object; only longer
-// strings spill to a heap word array.  On the common path every copy,
-// prefix, truncate and append is therefore allocation-free, which is what
-// makes the §5 probe binary search and Algorithm 1 planning cheap on the
-// host.  hash64() is memoized (labels key several hash tables per probe);
+// (256) bits — deeper than any benchmark workload reaches (D = 28 paths
+// over m <= 8 dimensions top out at 233 bits) — live entirely inside the
+// object; only longer strings spill to a heap word array.  On the common
+// path every copy, prefix, truncate and append is therefore
+// allocation-free, which is what makes the §5 probe binary search and
+// Algorithm 1 planning cheap on the host.  hash64() is memoized (labels key several hash tables per probe);
 // every mutator invalidates the cache.
 //
 // Storage invariant: within the last occupied word, bits at positions
@@ -36,7 +36,7 @@ namespace mlight::common {
 class BitString {
  public:
   /// Bits that fit without heap allocation.
-  static constexpr std::size_t kInlineBits = 128;
+  static constexpr std::size_t kInlineBits = 256;
 
   BitString() noexcept = default;
 

@@ -16,18 +16,32 @@ BitString interleave(const Point& p, std::size_t depth) {
     lo[i] = 0.0;
     hi[i] = 1.0;
   }
+  // Accumulate 64 decisions per word and flush via appendWordBits —
+  // bit-for-bit the same string as per-bit pushBack, at a fraction of
+  // the per-bit bookkeeping.  This is the innermost loop of every
+  // insert (single and batched): each record interleaves its full path
+  // before anything else happens.
   BitString out;
+  out.reserveBits(depth);
+  std::uint64_t word = 0;
+  std::size_t filled = 0;
   for (std::size_t d = 0; d < depth; ++d) {
     const std::size_t dim = dimensionAtDepth(d, m);
     const double mid = 0.5 * (lo[dim] + hi[dim]);
     const bool upper = p[dim] >= mid;
-    out.pushBack(upper);
+    word |= static_cast<std::uint64_t>(upper) << filled;
+    if (++filled == 64) {
+      out.appendWordBits(word, 64);
+      word = 0;
+      filled = 0;
+    }
     if (upper) {
       lo[dim] = mid;
     } else {
       hi[dim] = mid;
     }
   }
+  if (filled != 0) out.appendWordBits(word, filled);
   return out;
 }
 

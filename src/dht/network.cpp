@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,12 +12,22 @@
 
 namespace mlight::dht {
 
-std::uint64_t faultSeedFromEnv(std::uint64_t fallback) noexcept {
+std::uint64_t faultSeedFromEnv(std::uint64_t fallback) {
   const char* raw = std::getenv("MLIGHT_FAULT_SEED");
   if (raw == nullptr || *raw == '\0') return fallback;
+  // Strict decimal: strtoull alone would accept "17x" (trailing garbage),
+  // " 17", "-1" (wraps), and saturate on overflow — all silent wrong-seed
+  // runs.  Only an exact digit string parses.
+  for (const char* p = raw; *p != '\0'; ++p) {
+    MLIGHT_CHECK(*p >= '0' && *p <= '9',
+                 "MLIGHT_FAULT_SEED must be a plain decimal integer");
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw) return fallback;
+  MLIGHT_CHECK(end != raw && *end == '\0',
+               "MLIGHT_FAULT_SEED must be a plain decimal integer");
+  MLIGHT_CHECK(errno != ERANGE, "MLIGHT_FAULT_SEED overflows 64 bits");
   return static_cast<std::uint64_t>(value);
 }
 

@@ -105,8 +105,12 @@ struct FaultModel {
 
 /// Reads `MLIGHT_FAULT_SEED` from the environment (decimal), falling
 /// back to `fallback` when unset/empty — how CI points the whole fault
-/// matrix at one seed without touching code.
-std::uint64_t faultSeedFromEnv(std::uint64_t fallback = 1) noexcept;
+/// matrix at one seed without touching code.  A *malformed* value
+/// (non-digit characters, trailing garbage, or a number that overflows
+/// 64 bits) fails loudly via MLIGHT_CHECK instead of silently running
+/// the fallback seed: a seed-matrix job that typos its seed must go
+/// red, not green-under-the-wrong-seed.
+std::uint64_t faultSeedFromEnv(std::uint64_t fallback = 1);
 
 class Network {
  public:
@@ -136,6 +140,14 @@ class Network {
   /// Index of the physical peer owning ring position `vnode` (which must
   /// be a live position).  Stable across churn of *other* peers.
   std::size_t physicalOf(RingId vnode) const;
+
+  /// Name of the physical peer owning ring position `vnode` (which must
+  /// be a live position).  Names are stable across crash/rejoin — a peer
+  /// re-added under the same name reclaims the same ring positions — so
+  /// they key state that must survive a crash (the per-peer WAL).
+  const std::string& physicalNameOf(RingId vnode) const {
+    return physicalNames_[physicalOf(vnode)];
+  }
 
   /// Peer owning ring position `h`: greatest id <= h, wrapping.
   RingId responsible(RingId h) const noexcept;

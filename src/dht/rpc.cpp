@@ -21,7 +21,7 @@ void RpcEnvelope::deserializeFrom(common::Reader& r) {
   id = r.readU64();
   const std::uint8_t k = r.readU8();
   if (k < static_cast<std::uint8_t>(RpcKind::kGet) ||
-      k > static_cast<std::uint8_t>(RpcKind::kHintProbe)) {
+      k > static_cast<std::uint8_t>(RpcKind::kBatchPut)) {
     throw common::SerdeError("rpc: unknown envelope kind");
   }
   kind = static_cast<RpcKind>(k);

@@ -34,6 +34,12 @@ enum class RpcKind : std::uint8_t {
   /// kGet — one DHT-lookup — but is its own verb so traces and dead
   /// letters distinguish hint traffic from search probes.
   kHintProbe = 5,
+  /// Store a batch of records into the bucket at the owner: the body
+  /// carries the target key plus the serialized record group (assembled
+  /// in a pooled buffer by the client-side batcher).  One envelope
+  /// replaces N per-record kVisit round-trips; travels through the same
+  /// retry/failover machinery as every other access.
+  kBatchPut = 6,
 };
 
 struct RpcEnvelope {

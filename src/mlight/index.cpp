@@ -29,6 +29,13 @@ MLightIndex::MLightIndex(mlight::dht::Network& net, MLightConfig config)
     throw std::invalid_argument(
         "MLightIndex: thetaMerge must be < thetaSplit");
   }
+  if (config_.wal) {
+    // Attach before the bootstrap placement so the root bucket is framed
+    // too — the log must cover every placement ever applied.
+    wal_ = std::make_unique<mlight::wal::WalSet>(config_.walDir,
+                                                 config_.seed);
+    store_.attachWal(wal_.get());
+  }
   // Bootstrap: a single leaf # named to the virtual root.  Index creation
   // is not part of any measured workload, so the bucket is placed locally.
   const Label rootKey = naming(rootLabel(config_.dims), config_.dims);

@@ -13,8 +13,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/hint_cache.h"
@@ -27,6 +29,7 @@
 #include "index/region.h"
 #include "mlight/bucket.h"
 #include "store/distributed_store.h"
+#include "wal/wal.h"
 
 namespace mlight::core {
 
@@ -63,6 +66,16 @@ struct MLightConfig {
   std::uint64_t seed = 42;
   /// Namespace for this index's keys in the shared DHT key space.
   std::string dhtNamespace = "mlight/";
+  /// Durable write path: when true the index owns a per-peer write-ahead
+  /// log set (src/wal) — every bucket placement and every acknowledged
+  /// insert batch applied at a peer is framed into that peer's log, and
+  /// recoverFromWal() replays a crashed peer's acknowledged writes after
+  /// it rejoins under the same name.  Off by default; the off path is
+  /// bit-identical to a build without the WAL.
+  bool wal = false;
+  /// Root of the simulated WAL file layout (per-run subdirectory derives
+  /// from `seed`; see wal::WalSet::filePathFor).
+  std::string walDir = "wal";
   /// Per-peer label-hint cache (src/cache): with `cache.enabled` every
   /// point operation first probes the last leaf observed for the query's
   /// cell (1 DHT-lookup on a hit) and falls back to the §5 binary
@@ -91,6 +104,58 @@ class MLightIndex final : public mlight::index::IndexBase {
   /// crosses the wire exactly once instead of being re-shipped by later
   /// splits.  Throws std::logic_error if the index already holds data.
   void bulkLoad(std::span<const Record> records);
+  /// Batched durable insert path (ROADMAP item 5): splits `records` into
+  /// chunks of `batchSize`, and within each chunk groups records by
+  /// destination leaf — the first record of a group pays the §5 locate
+  /// (through the hint cache), every other member joins by a local
+  /// prefix test, and a call-local memo of located leaves carries over
+  /// between chunks so a leaf is located once per call, not once per
+  /// chunk (stale memo entries are detected by the owner-side apply and
+  /// re-located, never silently dropped) — then ships each group as ONE
+  /// pooled kBatchPut envelope.  The owner-side apply dedups by (id, key) so a replayed
+  /// group is idempotent, appends the fresh records, runs ONE split-
+  /// planning pass for the whole group (a single data-aware plan instead
+  /// of N sequential per-record splits), propagates the delta to
+  /// replicas, and — with the WAL enabled — frames the applied group in
+  /// the owner's log, committing the frame exactly when the batch is
+  /// acknowledged.  Records whose group ultimately fails (unreachable
+  /// leaf, exhausted retries) count into failedInserts() and are NOT
+  /// acknowledged.
+  struct BatchResult {
+    std::size_t acked = 0;    ///< records applied and acknowledged
+    std::size_t failed = 0;   ///< records abandoned (never acknowledged)
+    std::size_t groups = 0;   ///< kBatchPut envelopes issued
+    std::size_t batches = 0;  ///< client-side chunks processed
+  };
+  BatchResult insertBatched(std::span<const Record> records,
+                            std::size_t batchSize = 64,
+                            std::vector<std::uint64_t>* ackedIds = nullptr);
+
+  /// Crash recovery for the durable write path: scans the committed
+  /// frames of `peerName`'s WAL (the peer must have rejoined the overlay
+  /// — same name, hence same ring positions — as `rejoined`), rebuilds
+  /// the last acknowledged state of every bucket the log covers (kPlace
+  /// snapshots superseded by later kBatch appends, deduped by id), and
+  /// re-places exactly the buckets the crash actually lost (mourned
+  /// keys) in sorted key order.  Surviving buckets are left to the
+  /// replica-repair machinery — replaying them would resurrect stale
+  /// content.  Idempotent: a second replay finds nothing mourned and
+  /// restores nothing.  Recovery traffic is metered like any placement;
+  /// `ms` is the simulated time the replay took.
+  struct RecoveryStats {
+    std::size_t framesScanned = 0;
+    std::size_t bucketsRestored = 0;
+    std::size_t recordsRestored = 0;
+    double ms = 0.0;
+  };
+  RecoveryStats recoverFromWal(std::string_view peerName,
+                               mlight::dht::RingId rejoined);
+
+  /// The write-ahead log set (nullptr unless config.wal) — test/bench
+  /// hook: benches read per-peer frame counts, tests inject torn tails.
+  mlight::wal::WalSet* walSet() noexcept { return wal_.get(); }
+  const mlight::wal::WalSet* walSet() const noexcept { return wal_.get(); }
+
   std::size_t erase(const Point& key, std::uint64_t id) override;
   mlight::index::RangeResult rangeQuery(const Rect& range) override;
   mlight::index::PointResult pointQuery(const Point& key) override;
@@ -233,6 +298,7 @@ class MLightIndex final : public mlight::index::IndexBase {
     d.feed(breakdown_.mergeShipBytes);
     store_.digestState(d);
     hintCaches_.digestState(d);
+    if (wal_ != nullptr) wal_->digestState(d);
     return d.value();
   }
 
@@ -301,6 +367,9 @@ class MLightIndex final : public mlight::index::IndexBase {
 
   mlight::dht::Network* net_;
   MLightConfig config_;
+  /// Owned here, attached to the store: models the peers' disks, so it
+  /// must survive simulated crashes of the peers it logs.
+  std::unique_ptr<mlight::wal::WalSet> wal_;
   mlight::store::DistributedStore<LeafBucket> store_;
   mlight::common::Rng rng_;
   mlight::cache::HintCacheSet hintCaches_;

@@ -45,6 +45,7 @@
 #include "common/invariants.h"
 #include "common/serde.h"
 #include "dht/network.h"
+#include "wal/wal.h"
 
 namespace mlight::store {
 
@@ -104,6 +105,23 @@ class DistributedStore {
   DistributedStore& operator=(const DistributedStore&) = delete;
 
   std::size_t replication() const noexcept { return replication_; }
+
+  /// Attaches a per-peer write-ahead log set (durable write path): from
+  /// now on every bucket placement *applied* at a peer — the primary
+  /// store of an asyncPut at delivery, and every placeLocal — appends a
+  /// committed kPlace frame to that peer's log, keyed by the peer's
+  /// stable name.  The WalSet is owned by the caller (it must outlive
+  /// simulated crashes of the peers it logs, since it models their
+  /// disks, not their memory).  Detach with nullptr.
+  void attachWal(mlight::wal::WalSet* walSet) noexcept { wal_ = walSet; }
+  mlight::wal::WalSet* wal() const noexcept { return wal_; }
+
+  /// True when every copy of `label` died in a crash and nothing
+  /// re-placed it since — reads of it fail; recovery layers use this to
+  /// restore exactly what was lost and nothing else.
+  bool isMourned(const Label& label) const {
+    return mourned_.find(label) != mourned_.end();
+  }
 
   /// Hard cap on distinct labels memoized by ringKey() below.  Workloads
   /// with mostly-unique labels (DST leaf cells under a deep static tree)
@@ -298,6 +316,10 @@ class DistributedStore {
           entry.bucket = Bucket::deserialize(br);
           MLIGHT_CHECK(br.atEnd(), "wire format left trailing bytes");
           mourned_.erase(wireLabel);
+          noteCopyHealth(wireLabel, entry.copies);
+          // Append-on-apply: the stored image is durably framed at the
+          // peer that applied it (the wire bytes just decoded).
+          walAppendPlace(d.route.owner, wireLabel, bucketBytes);
           entries_.insert_or_assign(wireLabel, std::move(entry));
           net_->releaseBuffer(std::move(bucketBytes));
         });
@@ -326,6 +348,27 @@ class DistributedStore {
     state->kind = mlight::dht::RpcKind::kHintProbe;
     state->label = label;
     state->extra = std::move(extra);
+    state->fn = std::move(fn);
+    issueAccess(std::move(state), initiator, round, /*salt=*/0);
+  }
+
+  /// Async batched put (durable write path): one kBatchPut envelope
+  /// carrying the target label plus `recordsWire` — the serialized
+  /// record group the client-side batcher assembled in a pooled buffer.
+  /// Routes, retries, and fails over exactly like asyncGet (same
+  /// AccessState machinery), so one envelope replaces N per-record
+  /// round-trips.  The store does not apply the group itself: owner-side
+  /// application (dedup, append, group split planning, WAL framing)
+  /// belongs to the index layer, which runs it from the continuation —
+  /// the wire copy of the group is re-read from `d.env.payload` past the
+  /// leading label, like every other handler works from the wire.
+  void asyncBatchPut(RingId initiator, const Label& label,
+                     std::vector<std::uint8_t> recordsWire,
+                     std::uint32_t round, VisitFn fn) {
+    auto state = std::make_shared<AccessState>();
+    state->kind = mlight::dht::RpcKind::kBatchPut;
+    state->label = label;
+    state->extra = std::move(recordsWire);
     state->fn = std::move(fn);
     issueAccess(std::move(state), initiator, round, /*salt=*/0);
   }
@@ -361,6 +404,21 @@ class DistributedStore {
     return out;
   }
 
+  /// Synchronous facade over asyncBatchPut, mirroring routeAndFind.
+  Found batchPutAndFind(RingId initiator, const Label& label,
+                        std::vector<std::uint8_t> recordsWire,
+                        std::uint32_t round = 1) {
+    Found out{};
+    out.failed = true;  // cleared iff some holder actually answers
+    asyncBatchPut(
+        initiator, label, std::move(recordsWire), round,
+        [&out](Bucket* bucket, const mlight::dht::RpcDelivery& d) {
+          out = Found{d.route.owner, d.route.hops, d.route.ms, bucket};
+        });
+    net_->run();
+    return out;
+  }
+
   /// DHT-put: routes from `source`, ships the bucket payload to the owner
   /// of every copy (no bytes for copies the source itself owns), and
   /// stores/replaces it.  Returns the primary owner.
@@ -380,6 +438,15 @@ class DistributedStore {
   void placeLocal(const Label& label, Bucket bucket) {
     Entry entry;
     entry.copies = copyTargets(label);
+    noteCopyHealth(label, entry.copies);
+    if (wal_ != nullptr) {
+      // Local application still crosses the durability boundary: frame
+      // the image at the owning peer before it becomes the stored state.
+      mlight::common::Writer w(net_->acquireBuffer());
+      bucket.serialize(w);
+      walAppendPlace(entry.copies[0].holder, label, w.bytes());
+      net_->releaseBuffer(std::move(w).take());
+    }
     for (std::size_t i = 1; i < entry.copies.size(); ++i) {
       mlight::common::Writer body(net_->acquireBuffer());
       body.writeBitString(label);
@@ -425,7 +492,10 @@ class DistributedStore {
   }
 
   /// Removes the bucket under `label`; returns true if one existed.
-  bool erase(const Label& label) { return entries_.erase(label) > 0; }
+  bool erase(const Label& label) {
+    underReplicatedLabels_.erase(label);
+    return entries_.erase(label) > 0;
+  }
 
   /// Local (unmetered) bucket access for assertions and statistics.
   Bucket* peek(const Label& label) {
@@ -462,9 +532,20 @@ class DistributedStore {
   std::size_t readRepairs() const noexcept { return readRepairs_; }
 
   /// placements that came up short of `replication` copies because the
-  /// probe budget ran out (degraded mode — see copyTargets()).
+  /// probe budget ran out (degraded mode — see copyTargets()).  A
+  /// monotone event counter; for the *current* degradation level see
+  /// underReplicatedBuckets().
   std::size_t underReplicatedPlacements() const noexcept {
     return underReplicated_;
+  }
+
+  /// Buckets currently stored with fewer than `replication` copies
+  /// (level-triggered, unlike the monotone placement counter above):
+  /// degradation inserts the label once, and any path that re-achieves R
+  /// copies — eager crash repair, read-repair, or a replayed WAL batch
+  /// re-placing the bucket — removes it.  Empty means fully replicated.
+  std::size_t underReplicatedBuckets() const noexcept {
+    return underReplicatedLabels_.size();
   }
 
   /// Labels with memoized ring keys (the ringKey() cache).  Bounded by
@@ -539,6 +620,11 @@ class DistributedStore {
     d.feed(failoverReads_);
     d.feed(readRepairs_);
     d.feed(underReplicated_);
+    d.feed(underReplicatedLabels_.size());
+    for (const Label& label :
+         mlight::common::sortedKeys(underReplicatedLabels_)) {
+      d.feed(label);
+    }
   }
 
  private:
@@ -587,7 +673,34 @@ class DistributedStore {
       }
     }
     entry.copies = std::move(want);
+    noteCopyHealth(label, entry.copies);
     return shipped;
+  }
+
+  /// Level-triggered under-replication bookkeeping, updated at every
+  /// point a copy set is installed on an entry: a short set inserts the
+  /// label (idempotent — re-degrading never double-counts), a full set
+  /// removes it, and when the last degraded label recovers the one-time
+  /// warning latch resets so a *new* degradation epoch warns again.
+  void noteCopyHealth(const Label& label,
+                      const std::vector<CopyTarget>& copies) {
+    if (copies.size() < replication_) {
+      underReplicatedLabels_.insert(label);
+      return;
+    }
+    if (underReplicatedLabels_.erase(label) > 0 &&
+        underReplicatedLabels_.empty()) {
+      warnedUnderReplicated_ = false;
+    }
+  }
+
+  /// Frames a committed kPlace record in the applying peer's WAL (no-op
+  /// without an attached WalSet).
+  void walAppendPlace(RingId atVnode, const Label& label,
+                      std::span<const std::uint8_t> bucketBytes) {
+    if (wal_ == nullptr) return;
+    wal_->forPeer(net_->physicalNameOf(atVnode))
+        .appendCommitted(mlight::wal::FrameKind::kPlace, label, bucketBytes);
   }
 
   /// Failover bookkeeping shared by the attempts of one logical read:
@@ -737,6 +850,7 @@ class DistributedStore {
           std::erase_if(entry.copies, [&](const CopyTarget& copy) {
             return isDead(copy.holder);
           });
+          noteCopyHealth(label, entry.copies);
           continue;
         }
         if (isDead(entry.copies[0].holder)) ++repairedBuckets_;
@@ -753,9 +867,11 @@ class DistributedStore {
         }
       }
       entry.copies = want;
+      noteCopyHealth(label, entry.copies);
     }
     for (const Label& label : lost) {
       entries_.erase(label);
+      underReplicatedLabels_.erase(label);  // nothing stored to be degraded
       mourned_.insert(label);
       // A mourned label will never be probed through the cache again
       // (reads fail fast); dropping its memoized ring keys keeps the
@@ -778,7 +894,12 @@ class DistributedStore {
   std::size_t readRepairs_ = 0;
   mutable std::size_t underReplicated_ = 0;
   mutable bool warnedUnderReplicated_ = false;
+  mlight::wal::WalSet* wal_ = nullptr;
   std::unordered_map<Label, Entry, mlight::common::BitStringHash> entries_;
+  /// Labels currently stored with fewer than `replication` copies — see
+  /// underReplicatedBuckets() / noteCopyHealth().
+  std::unordered_set<Label, mlight::common::BitStringHash>
+      underReplicatedLabels_;
   /// Labels whose every copy died in a crash: reads of these fail
   /// (counted) instead of answering an authoritative NULL.  A later
   /// re-place of the label clears the mourning.

@@ -211,10 +211,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BitStringPropertyTest,
 
 // --- Small-buffer boundary (ISSUE 4) ---------------------------------
 //
-// BitString stores up to kInlineBits (128) bits inline and spills to
-// heap beyond.  Everything observable must be representation-blind:
-// these tests pin the exact boundary — 127 (inline with room), 128
-// (inline, full), 129 (heap) — and the transitions across it.
+// BitString stores up to kInlineBits bits inline and spills to heap
+// beyond.  Everything observable must be representation-blind: these
+// tests pin the exact boundary — kSbo-1 (inline with room), kSbo
+// (inline, full), kSbo+1 (heap) — and the transitions across it.  The
+// lengths derive from kInlineBits so the suite keeps straddling the
+// real boundary if the buffer is ever resized again.
+
+constexpr std::size_t kSbo = BitString::kInlineBits;
 
 BitString patternedLabel(std::size_t bits) {
   BitString b;
@@ -223,8 +227,7 @@ BitString patternedLabel(std::size_t bits) {
 }
 
 TEST(BitStringSbo, BoundaryLengthsRoundTripThroughEveryAccessor) {
-  for (const std::size_t n :
-       {std::size_t{127}, std::size_t{128}, std::size_t{129}}) {
+  for (const std::size_t n : {kSbo - 1, kSbo, kSbo + 1}) {
     const BitString b = patternedLabel(n);
     ASSERT_EQ(b.size(), n);
     std::string expect;
@@ -238,31 +241,30 @@ TEST(BitStringSbo, BoundaryLengthsRoundTripThroughEveryAccessor) {
 }
 
 TEST(BitStringSbo, SpillAndUnspillRoundTrip) {
-  // Push across the boundary (spills at bit 129), pop back under it:
+  // Push across the boundary (spills at bit kSbo+1), pop back under it:
   // the label must stay equal, bit for bit and hash for hash, to one
   // that never left inline storage.
-  BitString b = patternedLabel(127);
-  const BitString at127 = b;
-  b.pushBack(true);   // 128: inline, full
-  b.pushBack(false);  // 129: heap
-  b.pushBack(true);   // 130
-  EXPECT_EQ(b.size(), 130u);
+  BitString b = patternedLabel(kSbo - 1);
+  const BitString under = b;
+  b.pushBack(true);   // kSbo: inline, full
+  b.pushBack(false);  // kSbo+1: heap
+  b.pushBack(true);   // kSbo+2
+  EXPECT_EQ(b.size(), kSbo + 2);
   b.popBack();
   b.popBack();
   b.popBack();
-  EXPECT_EQ(b, at127);
-  EXPECT_EQ(b.hash64(), at127.hash64());
-  EXPECT_EQ(b.toString(), at127.toString());
+  EXPECT_EQ(b, under);
+  EXPECT_EQ(b.hash64(), under.hash64());
+  EXPECT_EQ(b.toString(), under.toString());
   // A copy of the popped-down label lands back in inline storage; a
   // copy is equal either way.
   const BitString copy = b;
-  EXPECT_EQ(copy, at127);
+  EXPECT_EQ(copy, under);
 }
 
 TEST(BitStringSbo, TruncateAcrossTheBoundaryMatchesPrefix) {
-  const BitString full = patternedLabel(200);
-  for (const std::size_t n : {std::size_t{129}, std::size_t{128},
-                              std::size_t{127}, std::size_t{64},
+  const BitString full = patternedLabel(kSbo + 72);
+  for (const std::size_t n : {kSbo + 1, kSbo, kSbo - 1, std::size_t{64},
                               std::size_t{1}, std::size_t{0}}) {
     BitString t = full;
     t.truncate(n);
@@ -272,32 +274,32 @@ TEST(BitStringSbo, TruncateAcrossTheBoundaryMatchesPrefix) {
 }
 
 TEST(BitStringSbo, OrderingAndPrefixAcrossTheBoundary) {
-  const BitString b127 = patternedLabel(127);
-  const BitString b128 = patternedLabel(128);
-  const BitString b129 = patternedLabel(129);
-  EXPECT_TRUE(b127.isPrefixOf(b128));
-  EXPECT_TRUE(b128.isPrefixOf(b129));
-  EXPECT_TRUE(b127.isPrefixOf(b129));
-  EXPECT_FALSE(b129.isPrefixOf(b127));
+  const BitString bUnder = patternedLabel(kSbo - 1);
+  const BitString bFull = patternedLabel(kSbo);
+  const BitString bOver = patternedLabel(kSbo + 1);
+  EXPECT_TRUE(bUnder.isPrefixOf(bFull));
+  EXPECT_TRUE(bFull.isPrefixOf(bOver));
+  EXPECT_TRUE(bUnder.isPrefixOf(bOver));
+  EXPECT_FALSE(bOver.isPrefixOf(bUnder));
   // A proper prefix orders before its extensions.
-  EXPECT_LT(b127, b128);
-  EXPECT_LT(b128, b129);
+  EXPECT_LT(bUnder, bFull);
+  EXPECT_LT(bFull, bOver);
   // Flipping a bit deep in the heap-only tail reorders correctly.
-  BitString hi = b129;
-  hi.setBit(128, !hi.bit(128));
-  EXPECT_NE(hi, b129);
-  EXPECT_EQ(hi.commonPrefixLength(b129), 128u);
-  if (b129.bit(128)) {
-    EXPECT_LT(hi, b129);
+  BitString hi = bOver;
+  hi.setBit(kSbo, !hi.bit(kSbo));
+  EXPECT_NE(hi, bOver);
+  EXPECT_EQ(hi.commonPrefixLength(bOver), kSbo);
+  if (bOver.bit(kSbo)) {
+    EXPECT_LT(hi, bOver);
   } else {
-    EXPECT_GT(hi, b129);
+    EXPECT_GT(hi, bOver);
   }
 }
 
 TEST(BitStringSbo, CommonPrefixLengthMatchesBruteForce) {
   Rng rng(77);
   for (int iter = 0; iter < 200; ++iter) {
-    const std::size_t na = rng.below(160);
+    const std::size_t na = rng.below(kSbo + 32);
     BitString a;
     for (std::size_t i = 0; i < na; ++i) a.pushBack(rng.chance(0.5));
     // Derive b from a prefix of a plus noise so long shared prefixes
@@ -341,10 +343,9 @@ TEST(BitStringSbo, AppendSelfDoublesTheString) {
 }
 
 TEST(BitStringSbo, PrefixSiblingMatchesPrefixThenSibling) {
-  const BitString b = patternedLabel(140);
-  for (const std::size_t n : {std::size_t{1}, std::size_t{64},
-                              std::size_t{127}, std::size_t{128},
-                              std::size_t{129}, std::size_t{140}}) {
+  const BitString b = patternedLabel(kSbo + 12);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{64}, kSbo - 1,
+                              kSbo, kSbo + 1, kSbo + 12}) {
     EXPECT_EQ(b.prefixSibling(n), b.prefix(n).sibling()) << n;
   }
 }
@@ -364,7 +365,7 @@ TEST(BitStringMove, MovesLeaveTheSourceEmptyInlineCase) {
 }
 
 TEST(BitStringMove, MovesLeaveTheSourceEmptyHeapCase) {
-  BitString src = patternedLabel(129);
+  BitString src = patternedLabel(kSbo + 1);
   const BitString expect = src;
   BitString dst = std::move(src);
   EXPECT_EQ(dst, expect);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bitstring.h"
+#include "common/check.h"
 #include "common/serde.h"
 #include "dht/network.h"
 #include "dht/rpc.h"
@@ -40,6 +41,29 @@ TEST(FaultSeed, ReadsEnvironmentWithFallback) {
   EXPECT_EQ(faultSeedFromEnv(77), 77u);
   ::setenv("MLIGHT_FAULT_SEED", "123456789", 1);
   EXPECT_EQ(faultSeedFromEnv(77), 123456789u);
+  ::unsetenv("MLIGHT_FAULT_SEED");
+}
+
+TEST(FaultSeed, MalformedEnvironmentFailsLoudly) {
+  // A malformed seed silently falling back would make a CI fault-matrix
+  // run test something other than what its matrix cell claims — reject
+  // instead of guessing.  (Trailing garbage was the observed bug: strtoull
+  // happily parses the "123" of "123abc".)
+  for (const char* bad : {"123abc", "abc", "-5", "+5", " 123", "123 ",
+                          "0x10", "12.5",
+                          "99999999999999999999" /* > 2^64-1 */}) {
+    ::setenv("MLIGHT_FAULT_SEED", bad, 1);
+    EXPECT_THROW(faultSeedFromEnv(7), mlight::common::CheckFailure)
+        << "accepted \"" << bad << '"';
+  }
+  // The full valid range still parses.
+  ::setenv("MLIGHT_FAULT_SEED", "0", 1);
+  EXPECT_EQ(faultSeedFromEnv(7), 0u);
+  ::setenv("MLIGHT_FAULT_SEED", "18446744073709551615", 1);
+  EXPECT_EQ(faultSeedFromEnv(7), 18446744073709551615ull);
+  // Unset and empty both mean "use the fallback", not an error.
+  ::setenv("MLIGHT_FAULT_SEED", "", 1);
+  EXPECT_EQ(faultSeedFromEnv(7), 7u);
   ::unsetenv("MLIGHT_FAULT_SEED");
 }
 

@@ -135,6 +135,55 @@ TEST(Replication, RepeatedCrashesWithTripleReplication) {
   EXPECT_EQ(store.bucketCount(), 300u);
 }
 
+TEST(Replication, UnderReplicationWarningIsLevelTriggeredNotACounter) {
+  // Two peers, R = 2: every bucket is fully replicated until one peer
+  // dies, at which point R = 2 is unsatisfiable — and satisfiable again
+  // the moment a peer rejoins.  underReplicatedBuckets() must track
+  // that *level*, unlike the monotone underReplicatedPlacements()
+  // event counter.
+  Network net(2);
+  DistributedStore<FakeBucket> store(net, "r/", 2);
+  for (int i = 0; i < 50; ++i) store.placeLocal(label(i), FakeBucket{i});
+  EXPECT_EQ(store.underReplicatedBuckets(), 0u);
+
+  const mlight::dht::RingId victim = net.peers()[0];
+  const std::string name = net.physicalNameOf(victim);
+  ASSERT_TRUE(net.crashPeer(victim));
+  // The survivor holds a copy of everything (nothing lost), but every
+  // bucket is degraded to one copy.
+  EXPECT_EQ(store.lostBuckets(), 0u);
+  EXPECT_EQ(store.underReplicatedBuckets(), 50u);
+  EXPECT_GT(store.underReplicatedPlacements(), 0u);
+
+  // Re-placing while degraded must not double-count: the warning set is
+  // keyed by label, not by placement event.
+  for (int i = 0; i < 10; ++i) store.placeLocal(label(i), FakeBucket{i});
+  EXPECT_EQ(store.underReplicatedBuckets(), 50u);
+
+  // A rejoin re-achieves R copies for every bucket: the warning state
+  // clears completely (the placement event counter keeps its history).
+  net.addPeer(name);
+  EXPECT_EQ(store.underReplicatedBuckets(), 0u);
+  const std::size_t events = store.underReplicatedPlacements();
+  EXPECT_GT(events, 0u);
+
+  // And it degrades again on the next crash — level, not latch.
+  ASSERT_TRUE(net.crashPeer(net.peers()[0]));
+  EXPECT_EQ(store.underReplicatedBuckets(), 50u);
+}
+
+TEST(Replication, ErasedBucketsLeaveTheUnderReplicationWarningSet) {
+  // Deleting a degraded bucket removes the warning with it: an empty
+  // store cannot be under-replicated.
+  Network net(2);
+  DistributedStore<FakeBucket> store(net, "r/", 2);
+  for (int i = 0; i < 8; ++i) store.placeLocal(label(i), FakeBucket{i});
+  net.crashPeer(net.peers()[0]);
+  EXPECT_EQ(store.underReplicatedBuckets(), 8u);
+  for (int i = 0; i < 8; ++i) store.erase(label(i));
+  EXPECT_EQ(store.underReplicatedBuckets(), 0u);
+}
+
 TEST(Replication, GracefulLeaveNeverLosesDataEvenUnreplicated) {
   Network net(16);
   DistributedStore<FakeBucket> store(net, "r/", 1);
