@@ -10,9 +10,11 @@
 // (paper: ≈35%).  Variance is reported on loads normalized by their mean
 // (the dimensionless relative variance), so the number is comparable
 // across checkpoints with different totals.
+#include <algorithm>
 #include <cinttypes>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "dht/network.h"
 #include "mlight/index.h"
@@ -27,6 +29,8 @@ struct Sample {
   double loadVariance = 0.0;    // per physical peer
   double bucketVariance = 0.0;  // per bucket
   double emptyPct = 0.0;
+  double queryMax = 0.0;  // max per-peer envelope delta over the probe set
+  double queryAvg = 0.0;  // avg per-peer envelope delta over the probe set
 };
 
 /// Relative (mean-normalized) variance of storage per *physical* peer.
@@ -57,6 +61,31 @@ double relativeBucketVariance(const core::MLightIndex& index) {
   return mean == 0.0 ? 0.0 : stat.variance() / (mean * mean);
 }
 
+/// Per-physical-peer *query* load at a checkpoint: run a fixed set of
+/// uniform point queries over the records inserted so far and report the
+/// max/avg envelope delta per peer (dht::PeerLoadMeter) — the query-side
+/// companion to the storage columns.
+void queryLoadProbe(core::MLightIndex& index, const dht::Network& net,
+                    const std::vector<index::Record>& data,
+                    std::size_t inserted, Sample* s) {
+  const std::size_t probes = 100;
+  const std::vector<std::uint64_t> before = net.peerLoads().counts();
+  common::Rng rng(2009 + inserted);
+  for (std::size_t q = 0; q < probes; ++q) {
+    index.pointQuery(data[rng.below(inserted)].key);
+  }
+  const std::vector<std::uint64_t>& after = net.peerLoads().counts();
+  double total = 0.0;
+  for (std::size_t p = 0; p < net.physicalCount(); ++p) {
+    const std::uint64_t a = p < after.size() ? after[p] : 0;
+    const std::uint64_t b = p < before.size() ? before[p] : 0;
+    const double d = static_cast<double>(a - b);
+    total += d;
+    s->queryMax = std::max(s->queryMax, d);
+  }
+  s->queryAvg = total / static_cast<double>(net.physicalCount());
+}
+
 std::vector<Sample> run(core::SplitStrategy strategy,
                         const std::vector<index::Record>& data,
                         std::size_t peers, std::size_t checkpointEvery) {
@@ -78,6 +107,7 @@ std::vector<Sample> run(core::SplitStrategy strategy,
       s.bucketVariance = relativeBucketVariance(index);
       s.emptyPct = 100.0 * static_cast<double>(index.emptyBucketCount()) /
                    static_cast<double>(index.bucketCount());
+      queryLoadProbe(index, net, data, i + 1, &s);
       samples.push_back(s);
     }
   }
@@ -101,17 +131,20 @@ int main(int argc, char** argv) {
   const auto aware =
       run(core::SplitStrategy::kDataAware, data, args.peers, checkpointEvery);
 
-  std::printf("\n%38s | %38s\n", "threshold-based splitting",
+  std::printf("\n%52s | %52s\n", "threshold-based splitting",
               "data-aware splitting");
-  std::printf("%10s %9s %9s %7s | %10s %9s %9s %7s\n", "tree size",
-              "peer var", "bkt var", "empty%", "tree size", "peer var",
-              "bkt var", "empty%");
+  std::printf("%10s %9s %9s %7s %6s %6s | %10s %9s %9s %7s %6s %6s\n",
+              "tree size", "peer var", "bkt var", "empty%", "qmax", "qavg",
+              "tree size", "peer var", "bkt var", "empty%", "qmax", "qavg");
   for (std::size_t i = 0; i < threshold.size() && i < aware.size(); ++i) {
-    std::printf("%10zu %9.4f %9.4f %6.2f%% | %10zu %9.4f %9.4f %6.2f%%\n",
+    std::printf("%10zu %9.4f %9.4f %6.2f%% %6.0f %6.1f | %10zu %9.4f %9.4f "
+                "%6.2f%% %6.0f %6.1f\n",
                 threshold[i].treeSize, threshold[i].loadVariance,
                 threshold[i].bucketVariance, threshold[i].emptyPct,
+                threshold[i].queryMax, threshold[i].queryAvg,
                 aware[i].treeSize, aware[i].loadVariance,
-                aware[i].bucketVariance, aware[i].emptyPct);
+                aware[i].bucketVariance, aware[i].emptyPct,
+                aware[i].queryMax, aware[i].queryAvg);
   }
 
   const auto& t = threshold.back();

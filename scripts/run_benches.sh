@@ -51,10 +51,12 @@ WALL_LOG="$TMP_DIR/wallclock.txt"
 CACHE_LOG="$TMP_DIR/cache.txt"
 SCALE_LOG="$TMP_DIR/scale.txt"
 BATCH_LOG="$TMP_DIR/batch.txt"
+LOAD_LOG="$TMP_DIR/load.txt"
 : > "$WALL_LOG"
 : > "$CACHE_LOG"
 : > "$SCALE_LOG"
 : > "$BATCH_LOG"
+: > "$LOAD_LOG"
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
@@ -71,6 +73,7 @@ for b in "$BUILD_DIR"/bench/*; do
       grep '^##CACHE ' "$TMP_DIR/out.txt" >> "$CACHE_LOG" || true
       grep '^##SCALE ' "$TMP_DIR/out.txt" >> "$SCALE_LOG" || true
       grep '^##BATCH ' "$TMP_DIR/out.txt" >> "$BATCH_LOG" || true
+      grep '^##LOAD ' "$TMP_DIR/out.txt" >> "$LOAD_LOG" || true
       ;;
   esac
 done
@@ -85,6 +88,7 @@ if command -v jq > /dev/null 2>&1; then
     --rawfile cache "$CACHE_LOG" \
     --rawfile scale "$SCALE_LOG" \
     --rawfile batch "$BATCH_LOG" \
+    --rawfile load "$LOAD_LOG" \
     --arg quick "${QUICK:-}" \
     '{
        quick: ($quick != ""),
@@ -111,6 +115,11 @@ if command -v jq > /dev/null 2>&1; then
           | add // {}),
        batch:
          ($batch | split("\n")
+          | map(select(length > 0) | split(" ")
+                | {(.[1]): (.[2] | tonumber)})
+          | add // {}),
+       load:
+         ($load | split("\n")
           | map(select(length > 0) | split(" ")
                 | {(.[1]): (.[2] | tonumber)})
           | add // {})

@@ -33,23 +33,31 @@ const LabelHint* LabelHintCache::findCovering(const Label& fullPath) {
   return nullptr;
 }
 
-void LabelHintCache::learn(const Label& leaf, std::uint32_t depth) {
-  if (capacity_ == 0) return;
+bool LabelHintCache::learn(const Label& leaf, std::uint32_t depth,
+                           std::vector<std::uint32_t> replicaSalts,
+                           std::vector<std::uint32_t> replicaLoads) {
+  if (capacity_ == 0) return false;
   auto it = byLeaf_.find(leaf);
   if (it != byLeaf_.end()) {
     it->second->depth = depth;
+    it->second->replicaSalts = std::move(replicaSalts);
+    it->second->replicaLoads = std::move(replicaLoads);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return false;
   }
+  bool evicted = false;
   if (lru_.size() >= capacity_) {
     const LabelHint& victim = lru_.back();
     dropLength(victim.leaf.size());
     byLeaf_.erase(victim.leaf);
     lru_.pop_back();
+    evicted = true;
   }
-  lru_.push_front(LabelHint{leaf, depth});
+  lru_.push_front(
+      LabelHint{leaf, depth, std::move(replicaSalts), std::move(replicaLoads)});
   byLeaf_.emplace(leaf, lru_.begin());
   bumpLength(leaf.size());
+  return evicted;
 }
 
 void LabelHintCache::forget(const Label& leaf) {

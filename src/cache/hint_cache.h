@@ -42,18 +42,46 @@ namespace mlight::cache {
 struct LabelHint {
   mlight::common::BitString leaf;
   std::uint32_t depth = 0;
+  /// Read-replica routing info for the leaf (query-load balancing,
+  /// docs/COST_MODEL.md "Query-load balancing"): the DHT placement salts
+  /// of every copy-holder, parallel to a coarse load signal per holder
+  /// observed when the hint was learned.  Empty for unboosted leaves —
+  /// and the wire image of an empty set is byte-identical to the
+  /// pre-replica hint format, so balancing-off traffic is unchanged.
+  std::vector<std::uint32_t> replicaSalts;
+  std::vector<std::uint32_t> replicaLoads;
 
   std::size_t wireSize() const noexcept {
-    return 4 + 8 * ((leaf.size() + 63) / 64) + 4;
+    return 4 + 8 * ((leaf.size() + 63) / 64) + 4 +
+           (replicaSalts.empty() ? 0 : 4 + 8 * replicaSalts.size());
   }
   void serialize(mlight::common::Writer& w) const {
     w.writeBitString(leaf);
     w.writeU32(depth);
+    if (!replicaSalts.empty()) {
+      w.writeU32(static_cast<std::uint32_t>(replicaSalts.size()));
+      for (std::size_t i = 0; i < replicaSalts.size(); ++i) {
+        w.writeU32(replicaSalts[i]);
+        w.writeU32(i < replicaLoads.size() ? replicaLoads[i] : 0);
+      }
+    }
   }
+  /// The replica block is optional-by-presence: a hint is always the
+  /// last field of its enclosing frame, so "more bytes remain" means the
+  /// block was written.
   static LabelHint deserialize(mlight::common::Reader& r) {
     LabelHint h;
     h.leaf = r.readBitString();
     h.depth = r.readU32();
+    if (!r.atEnd()) {
+      const std::uint32_t n = r.readU32();
+      h.replicaSalts.reserve(n);
+      h.replicaLoads.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        h.replicaSalts.push_back(r.readU32());
+        h.replicaLoads.push_back(r.readU32());
+      }
+    }
     return h;
   }
 };
@@ -102,8 +130,16 @@ class LabelHintCache {
   const LabelHint* findCovering(const Label& fullPath);
 
   /// Records (or refreshes) the hint for `leaf`; evicts the
-  /// least-recently-used hint when full.
-  void learn(const Label& leaf, std::uint32_t depth);
+  /// least-recently-used hint when full.  `replicaSalts`/`replicaLoads`
+  /// attach read-replica routing info (empty = none; a refresh
+  /// overwrites the stored set, so demoted leaves shed their replica
+  /// block on the next learn).  Returns true when an LRU victim was
+  /// evicted to make room — callers meter that through
+  /// dht::Network::noteHintEviction so cache pressure shows up in
+  /// CostMeter::hintEvictions.
+  bool learn(const Label& leaf, std::uint32_t depth,
+             std::vector<std::uint32_t> replicaSalts = {},
+             std::vector<std::uint32_t> replicaLoads = {});
 
   /// Drops the hint for `leaf`, if cached.  Called on stale detection:
   /// a repaired lookup must forget the old leaf before learning the new
@@ -123,6 +159,9 @@ class LabelHintCache {
     for (const LabelHint& h : lru_) {
       d.feed(h.leaf);
       d.feed(h.depth);
+      d.feed(h.replicaSalts.size());
+      for (const std::uint32_t s : h.replicaSalts) d.feed(s);
+      for (const std::uint32_t l : h.replicaLoads) d.feed(l);
     }
   }
 

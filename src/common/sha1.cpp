@@ -48,20 +48,21 @@ void Sha1::update(std::string_view text) noexcept {
 }
 
 Sha1Digest Sha1::finish() noexcept {
+  // Length is latched before padding; update() below keeps adjusting
+  // totalBytes_ but that no longer matters.  The 0x80 marker, the zero
+  // run, and the 8-byte big-endian bit length are assembled into one
+  // buffer so padding costs one or two block transforms, not a 1-byte
+  // update() call per padding byte.
   const std::uint64_t bitLen = totalBytes_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(std::span<const std::uint8_t>(&pad, 1));
-  const std::uint8_t zero = 0x00;
-  while (bufferLen_ != 56) {
-    // update() adjusts totalBytes_, but length was latched above.
-    update(std::span<const std::uint8_t>(&zero, 1));
-  }
-  std::array<std::uint8_t, 8> lenBytes{};
+  std::array<std::uint8_t, 128> pad{};
+  pad[0] = 0x80;
+  const std::size_t padLen =
+      (bufferLen_ < 56 ? 56 - bufferLen_ : 120 - bufferLen_);
   for (int i = 0; i < 8; ++i) {
-    lenBytes[static_cast<std::size_t>(i)] =
+    pad[padLen + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(bitLen >> (56 - 8 * i));
   }
-  update(lenBytes);
+  update(std::span<const std::uint8_t>(pad.data(), padLen + 8));
 
   Sha1Digest digest{};
   for (std::size_t i = 0; i < 5; ++i) {

@@ -7,8 +7,10 @@
 // operation groups they want to measure.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/digest.h"
 
@@ -43,6 +45,13 @@ struct CostMeter {
   /// one pays the probe plus an O(log Δdepth) seeded repair search, all
   /// metered in `lookups` as usual.
   std::uint64_t staleHints = 0;
+  /// LRU evictions in the label-hint caches: a learn() that had to drop
+  /// the coldest hint to make room.  Cache pressure made visible — a
+  /// steadily climbing eviction count at flat occupancy means the
+  /// working set exceeds CachePolicy::perDimCapacity.  (Occupancy itself
+  /// is a gauge, not a flow, so it is reported via
+  /// HintCacheSet::totalHints() instead of this meter.)
+  std::uint64_t hintEvictions = 0;
 
   /// Feeds every counter into a state digest (fixed field order).  All
   /// counters are commutative sums, so a meter is digest-stable under
@@ -56,6 +65,7 @@ struct CostMeter {
     d.feed(retries);
     d.feed(cacheHits);
     d.feed(staleHints);
+    d.feed(hintEvictions);
   }
 
   CostMeter& operator+=(const CostMeter& other) noexcept {
@@ -67,6 +77,7 @@ struct CostMeter {
     retries += other.retries;
     cacheHits += other.cacheHits;
     staleHints += other.staleHints;
+    hintEvictions += other.hintEvictions;
     return *this;
   }
 
@@ -79,8 +90,73 @@ struct CostMeter {
     a.retries -= b.retries;
     a.cacheHits -= b.cacheHits;
     a.staleHints -= b.staleHints;
+    a.hintEvictions -= b.hintEvictions;
     return a;
   }
+};
+
+/// Per-physical-peer query-load accounting (the query-side sibling of
+/// Fig 6's storage-load variance): one counter per peer, incremented for
+/// every RPC envelope addressed to that peer — i.e. requests the peer
+/// must serve, including retransmissions.  Counters are commutative sums
+/// bumped at envelope issue time, so the meter is digest-stable under
+/// tie-break shuffling and shard counts like every CostMeter field.
+class PeerLoadMeter {
+ public:
+  /// One more request addressed to physical peer `peer`.
+  void note(std::size_t peer) {
+    if (counts_.size() <= peer) counts_.resize(peer + 1, 0);
+    ++counts_[peer];
+  }
+
+  /// Requests addressed to `peer` so far (0 for peers never targeted).
+  std::uint64_t countOf(std::size_t peer) const noexcept {
+    return peer < counts_.size() ? counts_[peer] : 0;
+  }
+
+  /// Raw per-peer counters, indexed by physical peer.  May be shorter
+  /// than the overlay's peer count — missing tails are zero.
+  const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Load distribution at a quiescent point, over `peerCount` peers
+  /// (peers beyond the counter vector count as zero load).
+  struct Snapshot {
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+    std::uint64_t p99 = 0;
+    double avg = 0.0;
+    /// max/avg — the headline balance figure (1.0 = perfectly even;
+    /// 0 when nothing was metered).
+    double maxOverAvg = 0.0;
+  };
+  Snapshot snapshot(std::size_t peerCount) const {
+    Snapshot s;
+    std::vector<std::uint64_t> loads(std::max(peerCount, counts_.size()), 0);
+    std::copy(counts_.begin(), counts_.end(), loads.begin());
+    for (const std::uint64_t v : loads) {
+      s.total += v;
+      s.max = std::max(s.max, v);
+    }
+    if (loads.empty()) return s;
+    s.avg = static_cast<double>(s.total) / static_cast<double>(loads.size());
+    std::sort(loads.begin(), loads.end());
+    const std::size_t rank =
+        (99 * (loads.size() - 1) + 50) / 100;  // nearest-rank p99
+    s.p99 = loads[rank];
+    if (s.avg > 0.0) s.maxOverAvg = static_cast<double>(s.max) / s.avg;
+    return s;
+  }
+
+  /// Feeds the counters in peer-index order (fixed, so digest-stable).
+  void digestTo(mlight::common::Digest& d) const noexcept {
+    d.feed(counts_.size());
+    for (const std::uint64_t v : counts_) d.feed(v);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;  ///< indexed by physical peer
 };
 
 }  // namespace mlight::dht

@@ -419,6 +419,7 @@ void Network::transmitWithFaults(RingId key, const RouteResult& route,
         if (meter_ != nullptr) meter_->retries += 1;
         const RouteResult retryRoute = lookup(env.from, key);
         env.to = retryRoute.owner;
+        peerLoads_.note(physicalOf(retryRoute.owner));
         transmitWithFaults(key, retryRoute, std::move(env),
                            std::move(handler), std::move(onFail),
                            attempt + 1);
@@ -436,6 +437,7 @@ RouteResult Network::sendRpc(RingId key, RpcEnvelope env, RpcHandler handler,
   env.id = nextRpcId_++;
   total_.messages += 1;
   if (meter_ != nullptr) meter_->messages += 1;
+  peerLoads_.note(physicalOf(route.owner));
 
   if (faults_.enabled) {
     transmitWithFaults(key, route, std::move(env), std::move(handler),

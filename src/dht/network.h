@@ -241,6 +241,7 @@ class Network {
     d.feed(physicalNames_.size());
     for (const std::string& n : physicalNames_) d.feed(std::string_view(n));
     total_.digestTo(d);
+    peerLoads_.digestTo(d);
     d.feed(maxHops_);
     d.feed(deadLetters_);
     d.feed(ghostDrops_);
@@ -407,6 +408,20 @@ class Network {
     ++total_.staleHints;
     if (meter_ != nullptr) ++meter_->staleHints;
   }
+  /// Meters a hint-cache LRU eviction (a learn() that dropped the
+  /// coldest hint to make room).
+  void noteHintEviction() noexcept {
+    ++total_.hintEvictions;
+    if (meter_ != nullptr) ++meter_->hintEvictions;
+  }
+
+  /// Per-physical-peer query load: requests (RPC envelopes, including
+  /// retransmissions) addressed to each peer since the network was
+  /// built.  Always on — reading it is free and the counters are
+  /// commutative sums, so they perturb nothing.  Index with
+  /// physicalOf()/physicalCount(); scope deltas by snapshotting
+  /// counts() around the phase of interest.
+  const PeerLoadMeter& peerLoads() const noexcept { return peerLoads_; }
 
   /// Maximum hops observed over all lookups so far (sanity: O(log n)).
   std::size_t maxHopsSeen() const noexcept { return maxHops_; }
@@ -491,6 +506,7 @@ class Network {
   mlight::common::Rng rng_;
   CostMeter* meter_ = nullptr;
   CostMeter total_;
+  PeerLoadMeter peerLoads_;
   std::size_t maxHops_ = 0;
   std::uint64_t nextPeerSerial_ = 0;
 

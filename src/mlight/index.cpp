@@ -29,6 +29,9 @@ MLightIndex::MLightIndex(mlight::dht::Network& net, MLightConfig config)
     throw std::invalid_argument(
         "MLightIndex: thetaMerge must be < thetaSplit");
   }
+  // Install before any placement so the bootstrap bucket, too, goes
+  // through boost-aware copy resolution (a no-op while nothing is hot).
+  store_.setLoadBalance(config_.loadBalance);
   if (config_.wal) {
     // Attach before the bootstrap placement so the root bucket is framed
     // too — the log must cover every placement ever applied.
@@ -131,8 +134,12 @@ MLightIndex::Located MLightIndex::locateCached(mlight::dht::RingId initiator,
     // Cold cell: the plain §5 search, plus learning its answer.
     Located loc = locate(initiator, p, hiCap, roundBase);
     if (!loc.leaf.empty()) {
-      cache.learn(loc.leaf, static_cast<std::uint32_t>(
-                                edgeDepth(loc.leaf, m)));
+      auto info = store_.replicaReadInfo(loc.key);
+      if (cache.learn(loc.leaf,
+                      static_cast<std::uint32_t>(edgeDepth(loc.leaf, m)),
+                      std::move(info.salts), std::move(info.loads))) {
+        net_->noteHintEviction();
+      }
     }
     return loc;
   }
@@ -147,12 +154,31 @@ MLightIndex::Located MLightIndex::locateCached(mlight::dht::RingId initiator,
   const std::size_t t0 = std::min<std::size_t>(used.depth, hi);
   const Label probeKey = full.prefix(namedPrefixLength(full, m + 1 + t0, m));
   Located result;
+  // Least-loaded replica routing (query-load balancing): a hint learned
+  // for a boosted leaf carries the replica set plus the loads observed
+  // at learn time — probe the copy with the smallest load, ties broken
+  // toward the lowest replica index (strict < keeps the first minimum).
+  // Only when the probe key is the hint's own key (an unclamped t0):
+  // under a caller-capped window the probe targets an ancestor, whose
+  // copy set the hint knows nothing about.
+  std::size_t probeSalt = 0;
+  if (!used.replicaSalts.empty() && t0 == used.depth) {
+    std::uint32_t bestLoad = ~std::uint32_t{0};
+    for (std::size_t i = 0; i < used.replicaSalts.size(); ++i) {
+      const std::uint32_t load =
+          i < used.replicaLoads.size() ? used.replicaLoads[i] : 0;
+      if (load < bestLoad) {
+        bestLoad = load;
+        probeSalt = used.replicaSalts[i];
+      }
+    }
+  }
   // The hint crosses the wire with the probe so the owner-side verdict
   // works from the wire copy, like every other handler.
   mlight::common::Writer hintWire(net_->acquireBuffer());
   used.serialize(hintWire);
   const auto probed = store_.hintProbeAndFind(
-      initiator, probeKey, std::move(hintWire).take(), roundBase);
+      initiator, probeKey, std::move(hintWire).take(), roundBase, probeSalt);
   if (probed.failed) {
     // Unreachable probe (crash loss / exhausted retries): same give-up
     // contract as locate() — callers detect the empty leaf.
@@ -176,8 +202,16 @@ MLightIndex::Located MLightIndex::locateCached(mlight::dht::RingId initiator,
     result.leaf = probed.bucket->label;
     result.owner = probed.owner;
     if (result.leaf != used.leaf) cache.forget(used.leaf);
-    cache.learn(result.leaf,
-                static_cast<std::uint32_t>(edgeDepth(result.leaf, m)));
+    // Refresh the replica routing info along with the hint: the reply
+    // piggybacks the current copy set and loads (read at this quiescent
+    // point — the probe's facade pumped the loop dry), so the next read
+    // of this leaf self-balances toward the then-coldest copy.
+    auto info = store_.replicaReadInfo(probeKey);
+    if (cache.learn(result.leaf,
+                    static_cast<std::uint32_t>(edgeDepth(result.leaf, m)),
+                    std::move(info.salts), std::move(info.loads))) {
+      net_->noteHintEviction();
+    }
     if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
       mlight::common::auditCacheCoherence(result.leaf,
                                           uncachedLeafOracle(full, hiCap));
@@ -248,8 +282,12 @@ MLightIndex::Located MLightIndex::locateCached(mlight::dht::RingId initiator,
       result.key = key;
       result.leaf = found.bucket->label;
       result.owner = found.owner;
-      cache.learn(result.leaf,
-                  static_cast<std::uint32_t>(edgeDepth(result.leaf, m)));
+      auto info = store_.replicaReadInfo(key);
+      if (cache.learn(result.leaf,
+                      static_cast<std::uint32_t>(edgeDepth(result.leaf, m)),
+                      std::move(info.salts), std::move(info.loads))) {
+        net_->noteHintEviction();
+      }
       if (mlight::common::auditEnabled(
               mlight::common::AuditLevel::kParanoid)) {
         mlight::common::auditCacheCoherence(
@@ -323,10 +361,12 @@ MLightIndex::LookupResult MLightIndex::lookupLinear(const Point& key) {
 
 MLightIndex::LookupResult MLightIndex::lookup(const Point& key) {
   const double t0 = net_->beginTimeline();
+  store_.refreshReadRouting();
   const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locateCached(randomPeer(), key);
+  store_.drainLoadBalance();
   LookupResult out;
   out.leaf = loc.leaf;
   out.stats.cost = meter;
@@ -370,6 +410,7 @@ void MLightIndex::insert(const Record& record) {
   // Quiesce: deliver fire-and-forget replica envelopes before returning
   // so the next operation starts from an idle network.
   net_->run();
+  store_.drainLoadBalance();
   if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
     checkInvariants();
   }
@@ -395,6 +436,7 @@ std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
     thresholdMergeLoop(loc.key);
   }
   net_->run();
+  store_.drainLoadBalance();
   if (mlight::common::auditEnabled(mlight::common::AuditLevel::kParanoid)) {
     checkInvariants();
   }
@@ -403,10 +445,12 @@ std::size_t MLightIndex::erase(const Point& key, std::uint64_t id) {
 
 mlight::index::PointResult MLightIndex::pointQuery(const Point& key) {
   const double t0 = net_->beginTimeline();
+  store_.refreshReadRouting();
   const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
   const Located loc = locateCached(randomPeer(), key);
+  store_.drainLoadBalance();
   mlight::index::PointResult out;
   if (!loc.leaf.empty()) {
     const LeafBucket* bucket = store_.peek(loc.key);

@@ -83,6 +83,13 @@ struct MLightConfig {
   /// by default (unless MLIGHT_CACHE is set) — the disabled path is
   /// bit-identical to a build without the cache.
   mlight::cache::CachePolicy cache;
+  /// Query-load balancing (src/store LoadBalancePolicy): with
+  /// `loadBalance.enabled` the store promotes read-hot leaves to extra
+  /// replicas and point/range reads route to the least-loaded live copy
+  /// (hints carry the replica set; range probes use the store's frozen
+  /// read routes).  Disabled by default — the off path is byte-identical
+  /// to a build without the subsystem.
+  mlight::store::LoadBalancePolicy loadBalance;
 };
 
 class MLightIndex final : public mlight::index::IndexBase {

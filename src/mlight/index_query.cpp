@@ -120,6 +120,11 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
   if (clipped.empty()) return out;
 
   const double t0 = net_->beginTimeline();
+  // Freeze the read routes of boosted leaves at this quiescent point:
+  // the cascade's handlers issue asyncGet reads mid-flight, and they
+  // must consult a table fixed for the whole operation — never the live
+  // load counters — to stay order-free under tie shuffling.
+  store_.refreshReadRouting();
   const std::size_t failedBefore = store_.failedReads();
   mlight::dht::CostMeter meter;
   mlight::dht::MeterScope scope(*net_, meter);
@@ -279,6 +284,7 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
 
   // Drive the cascade to quiescence; stats fall out of the timeline.
   net_->run();
+  store_.drainLoadBalance();
   if (config_.cache.enabled && !learnedLeaves.empty()) {
     std::sort(learnedLeaves.begin(), learnedLeaves.end());
     learnedLeaves.erase(
@@ -286,8 +292,10 @@ mlight::index::RangeResult MLightIndex::regionQueryCore(
         learnedLeaves.end());
     auto& cache = hintCaches_.forPeer(initiator.value);
     for (const Label& leaf : learnedLeaves) {
-      cache.learn(leaf, static_cast<std::uint32_t>(
-                            edgeDepth(leaf, config_.dims)));
+      if (cache.learn(leaf, static_cast<std::uint32_t>(
+                                edgeDepth(leaf, config_.dims)))) {
+        net_->noteHintEviction();
+      }
     }
   }
   out.stats.cost = meter;

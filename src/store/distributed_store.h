@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -69,6 +70,35 @@ concept StorableBucket =
 /// re-home eagerly — their data handoff is part of the protocol.
 enum class RepairPolicy { kEager, kOnRead };
 
+/// Query-load balancing: hot-leaf read replication (docs/COST_MODEL.md
+/// "Query-load balancing").  The owner of every bucket counts the reads
+/// it serves per label in a rolling window of simulated time; a label
+/// whose in-window count reaches `promoteReads` is *promoted* — granted
+/// `boostCopies` extra replicas through the regular copyTargets()
+/// placement walk, shipped like any repair — and read traffic then
+/// spreads over the enlarged copy set (least-loaded routing, ties broken
+/// by lowest replica index).  A boosted label whose full window closes
+/// below `demoteReads` is demoted back to the base replication factor.
+/// Promotion/demotion side effects are deferred to quiescent points
+/// (drainLoadBalance(), called from the index-operation tails) and
+/// applied in sorted label order, so handler execution order never
+/// shapes placement — the determinism contract of docs/THEORY.md.
+/// Off by default: the disabled path must stay byte-identical to a
+/// build without the subsystem.
+struct LoadBalancePolicy {
+  bool enabled = false;
+  /// In-window reads at which a leaf is promoted (read-hot).
+  std::uint32_t promoteReads = 16;
+  /// Full-window reads below which a boosted leaf is demoted.
+  std::uint32_t demoteReads = 2;
+  /// Heat window length, simulated milliseconds.
+  double windowMs = 5000.0;
+  /// Extra copies granted to a hot leaf (total = replication + boost).
+  std::size_t boostCopies = 7;
+  /// Cap on simultaneously boosted leaves (bounds replica storage).
+  std::size_t maxHotLeaves = 64;
+};
+
 template <StorableBucket Bucket>
 class DistributedStore {
  public:
@@ -105,6 +135,114 @@ class DistributedStore {
   DistributedStore& operator=(const DistributedStore&) = delete;
 
   std::size_t replication() const noexcept { return replication_; }
+
+  // --- Query-load balancing (hot-leaf read replication) -----------------
+
+  /// Installs the balancing policy.  Call on a quiet store (before
+  /// traffic) — the disabled default leaves every path byte-identical
+  /// to a build without the subsystem.
+  void setLoadBalance(const LoadBalancePolicy& policy) noexcept {
+    loadBalance_ = policy;
+  }
+  const LoadBalancePolicy& loadBalance() const noexcept {
+    return loadBalance_;
+  }
+
+  /// Applies the promotions/demotions the owner-side heat counters
+  /// decided since the last drain.  Must be called at a quiescent point
+  /// (no events in flight) — index operations call it from their tails —
+  /// because promotion re-resolves copyTargets() and ships replica
+  /// payload, which may not happen mid-operation (it would race the
+  /// failover walk's captured target list under tie shuffling; see the
+  /// determinism contract).  Labels are processed in sorted order after
+  /// dedup, so the drain's effect is independent of the handler
+  /// execution order that queued them.
+  void drainLoadBalance() {
+    if (!loadBalance_.enabled) return;
+    if (pendingDemotions_.empty() && pendingPromotions_.empty()) return;
+    std::sort(pendingDemotions_.begin(), pendingDemotions_.end());
+    pendingDemotions_.erase(
+        std::unique(pendingDemotions_.begin(), pendingDemotions_.end()),
+        pendingDemotions_.end());
+    for (const Label& label : pendingDemotions_) {
+      if (boost_.erase(label) == 0) continue;
+      frozenReadSalt_.erase(label);
+      auto it = entries_.find(label);
+      if (it == entries_.end()) continue;
+      // Shedding copies is free: the enlarged set simply stops being
+      // maintained, and the next installed copy set is the base one.
+      it->second.copies = copyTargets(label);
+      noteCopyHealth(label, it->second.copies);
+      ++hotDemotions_;
+    }
+    pendingDemotions_.clear();
+    std::sort(pendingPromotions_.begin(), pendingPromotions_.end());
+    pendingPromotions_.erase(
+        std::unique(pendingPromotions_.begin(), pendingPromotions_.end()),
+        pendingPromotions_.end());
+    for (const Label& label : pendingPromotions_) {
+      if (boost_.size() >= loadBalance_.maxHotLeaves) break;
+      if (boost_.find(label) != boost_.end()) continue;
+      auto it = entries_.find(label);
+      if (it == entries_.end()) continue;
+      boost_.emplace(label, loadBalance_.boostCopies);
+      // Ship the bucket to the new holders from the primary — the same
+      // metered repair primitive crash recovery uses.
+      ensureReplicated(label, it->second, it->second.copies[0].holder);
+      ++hotPromotions_;
+    }
+    pendingPromotions_.clear();
+  }
+
+  /// Recomputes, at a quiescent point, the frozen read route of every
+  /// boosted label: the copy with the least per-peer query load on the
+  /// current meter, ties broken by lowest replica index (the order of
+  /// the copy-target walk).  Handlers issuing reads mid-operation
+  /// consult only this frozen table — never the live counters — so the
+  /// routing decision is identical under any same-time delivery order.
+  void refreshReadRouting() {
+    if (!loadBalance_.enabled) return;
+    frozenReadSalt_.clear();
+    for (const auto& [label, extra] : boost_) {
+      const auto it = entries_.find(label);
+      if (it == entries_.end()) continue;
+      frozenReadSalt_.emplace(label,
+                              pickLeastLoadedSalt(it->second.copies));
+    }
+  }
+
+  /// Read-replica routing info of `label` for hint piggybacking: the
+  /// placement salt and a coarse load signal per copy-holder.  Empty
+  /// unless the label is currently boosted — unboosted hints must stay
+  /// byte-identical on the wire to the pre-balancing format.
+  struct ReplicaReadInfo {
+    std::vector<std::uint32_t> salts;
+    std::vector<std::uint32_t> loads;
+  };
+  ReplicaReadInfo replicaReadInfo(const Label& label) const {
+    ReplicaReadInfo out;
+    if (!loadBalance_.enabled) return out;
+    if (boost_.find(label) == boost_.end()) return out;
+    const auto it = entries_.find(label);
+    if (it == entries_.end()) return out;
+    const auto& loads = net_->peerLoads();
+    for (const CopyTarget& t : it->second.copies) {
+      out.salts.push_back(static_cast<std::uint32_t>(t.salt));
+      const std::uint64_t load = loads.countOf(net_->physicalOf(t.holder));
+      out.loads.push_back(static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(load, 0xFFFFFFFFu)));
+    }
+    return out;
+  }
+
+  /// Leaves currently holding boosted (read-hot) copy sets.
+  std::size_t boostedLeafCount() const noexcept { return boost_.size(); }
+  bool isBoosted(const Label& label) const {
+    return boost_.find(label) != boost_.end();
+  }
+  /// Monotone promotion/demotion event counters.
+  std::uint64_t hotPromotions() const noexcept { return hotPromotions_; }
+  std::uint64_t hotDemotions() const noexcept { return hotDemotions_; }
 
   /// Attaches a per-peer write-ahead log set (durable write path): from
   /// now on every bucket placement *applied* at a peer — the primary
@@ -169,12 +307,17 @@ class DistributedStore {
   /// and read failover all consume it, so no path can disagree about
   /// where the copies live.
   std::vector<CopyTarget> copyTargets(const Label& label) const {
+    // Boosted labels (read-hot, see LoadBalancePolicy) want extra copies
+    // on top of the durability replication factor; resolving the boost
+    // here means placement, replica fan-out, crash repair, and read
+    // failover all maintain the enlarged set without knowing about it.
+    const std::size_t want = replication_ + boostOf(label);
     std::vector<CopyTarget> targets{CopyTarget{ownerOf(label), 0}};
     std::size_t salt = 1;
     // On tiny overlays there may be fewer peers than copies; stop after
     // a bounded number of attempts rather than spinning.
     std::size_t attempts = 0;
-    while (targets.size() < replication_ && attempts < 8 * replication_) {
+    while (targets.size() < want && attempts < 8 * want) {
       const RingId candidate = net_->responsible(ringKey(label, salt));
       const bool taken =
           std::find_if(targets.begin(), targets.end(),
@@ -201,17 +344,18 @@ class DistributedStore {
                      "copies (probe budget %zu exhausted) — overlay too "
                      "small for the replication factor\n",
                      ns_.c_str(), targets.size(), replication_,
-                     8 * replication_);
+                     8 * want);
       }
     }
     if (mlight::common::auditEnabled(
             mlight::common::AuditLevel::kBoundaries)) {
       // Copies must land on pairwise-distinct peers (failure
-      // independence) and never exceed the replication factor.
+      // independence) and never exceed the wanted copy count
+      // (replication factor plus any hot-leaf boost).
       std::vector<std::uint64_t> positions;
       positions.reserve(targets.size());
       for (const CopyTarget& t : targets) positions.push_back(t.holder.value);
-      mlight::common::auditReplicaHolders(positions, replication_);
+      mlight::common::auditReplicaHolders(positions, want);
     }
     return targets;
   }
@@ -341,15 +485,23 @@ class DistributedStore {
   /// `d.env.payload` past the leading label).  Routes, meters, and fails
   /// over exactly like asyncGet; only the verb differs so traces and
   /// dead letters can tell hint traffic from search probes.
+  ///
+  /// `salt` targets a specific copy of a boosted leaf (the initiator's
+  /// hint carries the replica set; least-loaded routing picks one).  The
+  /// default 0 falls back to the store's frozen read route for the label
+  /// (identity when balancing is off).  A salt that stopped being a copy
+  /// (demotion, churn) is caught by the owner-side holdsCopy check and
+  /// fails over — never a wrong answer.
   void asyncHintProbe(RingId initiator, const Label& label,
                       std::vector<std::uint8_t> extra, std::uint32_t round,
-                      VisitFn fn) {
+                      VisitFn fn, std::size_t salt = 0) {
     auto state = std::make_shared<AccessState>();
     state->kind = mlight::dht::RpcKind::kHintProbe;
     state->label = label;
     state->extra = std::move(extra);
     state->fn = std::move(fn);
-    issueAccess(std::move(state), initiator, round, /*salt=*/0);
+    issueAccess(std::move(state), initiator, round,
+                salt != 0 ? salt : frozenSaltFor(label));
   }
 
   /// Async batched put (durable write path): one kBatchPut envelope
@@ -392,14 +544,15 @@ class DistributedStore {
   /// Synchronous facade over asyncHintProbe, mirroring routeAndFind.
   Found hintProbeAndFind(RingId initiator, const Label& label,
                          std::vector<std::uint8_t> extra,
-                         std::uint32_t round = 1) {
+                         std::uint32_t round = 1, std::size_t salt = 0) {
     Found out{};
     out.failed = true;  // cleared iff some holder actually answers
     asyncHintProbe(
         initiator, label, std::move(extra), round,
         [&out](Bucket* bucket, const mlight::dht::RpcDelivery& d) {
           out = Found{d.route.owner, d.route.hops, d.route.ms, bucket};
-        });
+        },
+        salt);
     net_->run();
     return out;
   }
@@ -625,6 +778,39 @@ class DistributedStore {
          mlight::common::sortedKeys(underReplicatedLabels_)) {
       d.feed(label);
     }
+    // Query-load balancing state (all empty with balancing off, so the
+    // disabled digest matches a build without the subsystem's state —
+    // the counters still feed, as constants).  The ordered maps iterate
+    // sorted; the pending vectors are queued in handler order, so they
+    // feed through a sorted+deduped copy (exactly the view the drain
+    // will consume).
+    d.feed(boost_.size());
+    for (const auto& [label, extra] : boost_) {
+      d.feed(label);
+      d.feed(extra);
+    }
+    d.feed(heat_.size());
+    for (const auto& [label, h] : heat_) {
+      d.feed(label);
+      d.feed(h.startMs);
+      d.feed(h.reads);
+    }
+    d.feed(frozenReadSalt_.size());
+    for (const auto& [label, salt] : frozenReadSalt_) {
+      d.feed(label);
+      d.feed(salt);
+    }
+    const auto feedPendingSorted = [&d](std::vector<Label> pending) {
+      std::sort(pending.begin(), pending.end());
+      pending.erase(std::unique(pending.begin(), pending.end()),
+                    pending.end());
+      d.feed(pending.size());
+      for (const Label& label : pending) d.feed(label);
+    };
+    feedPendingSorted(pendingPromotions_);
+    feedPendingSorted(pendingDemotions_);
+    d.feed(hotPromotions_);
+    d.feed(hotDemotions_);
   }
 
  private:
@@ -649,6 +835,67 @@ class DistributedStore {
       key += std::to_string(salt);
     }
     return mlight::dht::keyId(key);
+  }
+
+  /// Extra copies currently granted to `label` (0 for cold leaves, and
+  /// for everything when balancing is off — boost_ stays empty then).
+  std::size_t boostOf(const Label& label) const {
+    if (boost_.empty()) return 0;
+    const auto it = boost_.find(label);
+    return it == boost_.end() ? 0 : it->second;
+  }
+
+  /// The frozen read route for `label` (see refreshReadRouting): 0 —
+  /// the primary — unless a refresh chose a less-loaded copy.  Safe to
+  /// call from RPC handlers: the table is only written at quiescence.
+  std::size_t frozenSaltFor(const Label& label) const {
+    if (frozenReadSalt_.empty()) return 0;
+    const auto it = frozenReadSalt_.find(label);
+    return it == frozenReadSalt_.end() ? 0 : it->second;
+  }
+
+  /// Least-loaded copy by the peer-load meter; ties break toward the
+  /// lowest replica index (strict < keeps the first minimum), which is
+  /// the deterministic rule the shuffle/shard matrices rely on.
+  std::size_t pickLeastLoadedSalt(
+      const std::vector<CopyTarget>& copies) const {
+    std::size_t bestSalt = 0;
+    std::uint64_t bestLoad = ~std::uint64_t{0};
+    const auto& loads = net_->peerLoads();
+    for (const CopyTarget& t : copies) {
+      const std::uint64_t load = loads.countOf(net_->physicalOf(t.holder));
+      if (load < bestLoad) {
+        bestLoad = load;
+        bestSalt = t.salt;
+      }
+    }
+    return bestSalt;
+  }
+
+  /// Owner-side heat accounting, called from the read-serving handler.
+  /// Only counters and pending-decision sets are touched here — reads
+  /// at equal simulated time commute (each adds one; whether a label
+  /// crossed `promoteReads` within the window is a property of the
+  /// count, not of the order), so this is handler-safe under tie
+  /// shuffling.  The placement side effects happen in
+  /// drainLoadBalance(), at quiescence, in sorted label order.
+  void noteHeat(const Label& label) {
+    if (!loadBalance_.enabled) return;
+    HeatWindow& h = heat_[label];
+    const double now = net_->now();
+    const bool boosted = boost_.find(label) != boost_.end();
+    if (now - h.startMs >= loadBalance_.windowMs) {
+      if (boosted && h.reads < loadBalance_.demoteReads) {
+        pendingDemotions_.push_back(label);
+      }
+      h.startMs = now;
+      h.reads = 0;
+    }
+    ++h.reads;
+    if (!boosted && h.reads == loadBalance_.promoteReads &&
+        boost_.size() < loadBalance_.maxHotLeaves) {
+      pendingPromotions_.push_back(label);
+    }
   }
 
   static bool holdsCopy(const Entry& entry, RingId vnode) {
@@ -738,7 +985,11 @@ class DistributedStore {
     state->kind = kind;
     state->label = label;
     state->fn = std::move(fn);
-    issueAccess(std::move(state), initiator, round, /*salt=*/0);
+    // Pure reads of boosted leaves route to the frozen least-loaded
+    // copy; visits may mutate and always start at the primary.
+    const std::size_t salt =
+        kind == mlight::dht::RpcKind::kGet ? frozenSaltFor(label) : 0;
+    issueAccess(std::move(state), initiator, round, salt);
   }
 
   void issueAccess(std::shared_ptr<AccessState> state, RingId initiator,
@@ -781,6 +1032,10 @@ class DistributedStore {
             if (ensureReplicated(wireLabel, entry, d.route.owner)) {
               ++readRepairs_;
             }
+          }
+          if (state->kind == mlight::dht::RpcKind::kGet ||
+              state->kind == mlight::dht::RpcKind::kHintProbe) {
+            noteHeat(wireLabel);
           }
           state->fn(&entry.bucket, d);
         },
@@ -895,6 +1150,28 @@ class DistributedStore {
   mutable std::size_t underReplicated_ = 0;
   mutable bool warnedUnderReplicated_ = false;
   mlight::wal::WalSet* wal_ = nullptr;
+  // --- Query-load balancing state (all empty when disabled) -----------
+  LoadBalancePolicy loadBalance_;
+  /// Owner-side windowed read counters per label.
+  struct HeatWindow {
+    double startMs = 0.0;
+    std::uint32_t reads = 0;
+  };
+  /// Ordered maps on purpose: digestState and drain/refresh walk them,
+  /// and sorted iteration keeps those walks schedule-independent.
+  std::map<Label, HeatWindow> heat_;
+  /// label -> extra copies currently granted (promotion installs,
+  /// demotion erases).
+  std::map<Label, std::size_t> boost_;
+  /// label -> salt of the least-loaded copy, frozen at the last
+  /// refreshReadRouting() (read-only between quiescent points).
+  std::map<Label, std::size_t> frozenReadSalt_;
+  /// Decisions queued by noteHeat (handler context), applied by
+  /// drainLoadBalance (quiescence) in sorted order.
+  std::vector<Label> pendingPromotions_;
+  std::vector<Label> pendingDemotions_;
+  std::uint64_t hotPromotions_ = 0;
+  std::uint64_t hotDemotions_ = 0;
   std::unordered_map<Label, Entry, mlight::common::BitStringHash> entries_;
   /// Labels currently stored with fewer than `replication` copies — see
   /// underReplicatedBuckets() / noteCopyHealth().

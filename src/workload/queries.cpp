@@ -32,4 +32,25 @@ std::vector<mlight::common::Rect> uniformRangeQueries(std::size_t count,
   return out;
 }
 
+std::vector<std::size_t> zipfIndices(std::size_t count, std::size_t n,
+                                     double theta, std::uint64_t seed) {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  if (n == 0) return out;
+  std::vector<double> cdf(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf[i] = sum;
+  }
+  mlight::common::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.uniform() * sum;
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    out.push_back(std::min<std::size_t>(
+        static_cast<std::size_t>(it - cdf.begin()), n - 1));
+  }
+  return out;
+}
+
 }  // namespace mlight::workload

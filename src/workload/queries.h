@@ -22,4 +22,13 @@ std::vector<mlight::common::Rect> uniformRangeQueries(std::size_t count,
                                                       double span,
                                                       std::uint64_t seed);
 
+/// `count` indices in [0, n) drawn from a Zipf(theta) distribution:
+/// P(rank i) proportional to 1/(i+1)^theta.  theta = 0 degenerates to
+/// uniform; larger theta concentrates draws on low ranks, which is the
+/// standard skewed-access model for hotspot benchmarks.  Sampling is by
+/// binary search over the precomputed CDF, so generation is O(n + count
+/// log n) and fully deterministic in `seed`.
+std::vector<std::size_t> zipfIndices(std::size_t count, std::size_t n,
+                                     double theta, std::uint64_t seed);
+
 }  // namespace mlight::workload
