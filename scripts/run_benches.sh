@@ -52,11 +52,13 @@ CACHE_LOG="$TMP_DIR/cache.txt"
 SCALE_LOG="$TMP_DIR/scale.txt"
 BATCH_LOG="$TMP_DIR/batch.txt"
 LOAD_LOG="$TMP_DIR/load.txt"
+WIRE_LOG="$TMP_DIR/wire.txt"
 : > "$WALL_LOG"
 : > "$CACHE_LOG"
 : > "$SCALE_LOG"
 : > "$BATCH_LOG"
 : > "$LOAD_LOG"
+: > "$WIRE_LOG"
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] || continue
@@ -74,6 +76,7 @@ for b in "$BUILD_DIR"/bench/*; do
       grep '^##SCALE ' "$TMP_DIR/out.txt" >> "$SCALE_LOG" || true
       grep '^##BATCH ' "$TMP_DIR/out.txt" >> "$BATCH_LOG" || true
       grep '^##LOAD ' "$TMP_DIR/out.txt" >> "$LOAD_LOG" || true
+      grep '^##WIRE ' "$TMP_DIR/out.txt" >> "$WIRE_LOG" || true
       ;;
   esac
 done
@@ -89,6 +92,7 @@ if command -v jq > /dev/null 2>&1; then
     --rawfile scale "$SCALE_LOG" \
     --rawfile batch "$BATCH_LOG" \
     --rawfile load "$LOAD_LOG" \
+    --rawfile wire "$WIRE_LOG" \
     --arg quick "${QUICK:-}" \
     '{
        quick: ($quick != ""),
@@ -120,6 +124,11 @@ if command -v jq > /dev/null 2>&1; then
           | add // {}),
        load:
          ($load | split("\n")
+          | map(select(length > 0) | split(" ")
+                | {(.[1]): (.[2] | tonumber)})
+          | add // {}),
+       wire:
+         ($wire | split("\n")
           | map(select(length > 0) | split(" ")
                 | {(.[1]): (.[2] | tonumber)})
           | add // {})

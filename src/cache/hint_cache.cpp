@@ -3,16 +3,28 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace mlight::cache {
 
-bool cacheEnabledFromEnv(bool fallback) noexcept {
+bool cacheEnabledFromEnv(bool fallback) {
   const char* env = std::getenv("MLIGHT_CACHE");
   if (env == nullptr || *env == '\0') return fallback;
   if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
       std::strcmp(env, "false") == 0) {
     return false;
   }
-  return true;
+  if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+      std::strcmp(env, "true") == 0 || std::strcmp(env, "yes") == 0) {
+    return true;
+  }
+  // "enabl" / "offf" / " 1" used to silently *enable* — the worst
+  // possible reading of a typo in a knob whose off-path must stay
+  // bit-identical to a cacheless build.  Fail loudly instead (same
+  // contract as dht::faultSeedFromEnv).
+  MLIGHT_CHECK(false,
+               "MLIGHT_CACHE must be one of 0/off/false/1/on/true/yes");
+  return fallback;  // unreachable; keeps -Werror=return-type happy
 }
 
 const LabelHint* LabelHintCache::findCovering(const Label& fullPath) {

@@ -87,10 +87,11 @@ struct LabelHint {
 };
 
 /// Reads the MLIGHT_CACHE environment variable: "0" / "off" / "false"
-/// disable, any other non-empty value enables, unset/empty falls back —
-/// how CI runs whole suites cache-on without touching code (same pattern
-/// as dht::faultSeedFromEnv).
-bool cacheEnabledFromEnv(bool fallback = false) noexcept;
+/// disable, "1" / "on" / "true" / "yes" enable, unset/empty falls back —
+/// how CI runs whole suites cache-on without touching code.  Any other
+/// value throws common::CheckFailure (same contract as
+/// dht::faultSeedFromEnv) instead of silently enabling the cache.
+bool cacheEnabledFromEnv(bool fallback = false);
 
 /// Cache knobs shared by every index backend.  Off by default (the
 /// cache-off path must stay bit-identical to a build without the cache

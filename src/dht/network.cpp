@@ -350,9 +350,7 @@ double Network::rpcTimeoutMs(std::size_t attempt,
                              double routeMs) const noexcept {
   const double floor =
       2.0 * routeMs + faults_.jitterMs + faults_.timeoutBaseMs;
-  const double backoff = static_cast<double>(
-      std::uint64_t{1} << std::min<std::size_t>(attempt, 8));
-  return floor * backoff;
+  return retryBackoffMs(floor, attempt);
 }
 
 void Network::transmitWithFaults(RingId key, const RouteResult& route,
@@ -403,12 +401,9 @@ void Network::transmitWithFaults(RingId key, const RouteResult& route,
        onFail = std::move(onFail), attempt, flight]() mutable {
         if (flight->delivered) return;
         if (attempt + 1 >= faults_.maxAttempts) {
-          ++deadLetters_;
-          if (deadLetterLog_.size() < 64) {
-            deadLetterLog_.push_back(DeadLetter{env.id, env.kind, env.from,
-                                                env.to, attempt + 1,
-                                                sched_.now()});
-          }
+          deadLetterRing_.record(DeadLetter{env.id, env.kind, env.from,
+                                            env.to, attempt + 1,
+                                            sched_.now()});
           if (onFail) onFail(env, attempt + 1);
           return;
         }

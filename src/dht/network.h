@@ -243,7 +243,7 @@ class Network {
     total_.digestTo(d);
     peerLoads_.digestTo(d);
     d.feed(maxHops_);
-    d.feed(deadLetters_);
+    d.feed(deadLetterRing_.total());
     d.feed(ghostDrops_);
     d.feed(sched_.now());
   }
@@ -323,20 +323,25 @@ class Network {
   void setFaultModel(const FaultModel& faults);
   const FaultModel& faultModel() const noexcept { return faults_; }
 
-  /// An envelope that exhausted FaultModel::maxAttempts transmissions.
-  struct DeadLetter {
-    std::uint64_t rpcId = 0;
-    RpcKind kind = RpcKind::kGet;
-    RingId from;
-    RingId lastTarget;      ///< Owner of the key on the last attempt.
-    std::size_t attempts = 0;
-    double at = 0.0;        ///< Simulated time the envelope was abandoned.
-  };
-
-  std::uint64_t deadLetterCount() const noexcept { return deadLetters_; }
-  /// The first few dead letters in full (bounded; diagnostics only).
-  const std::vector<DeadLetter>& deadLetterLog() const noexcept {
-    return deadLetterLog_;
+  /// All-time envelopes that exhausted FaultModel::maxAttempts
+  /// transmissions (the counter the digests and goldens pin).
+  std::uint64_t deadLetterCount() const noexcept {
+    return deadLetterRing_.total();
+  }
+  /// The most recent dead letters in full, oldest first (bounded ring —
+  /// see dht::DeadLetterRing; diagnostics only).
+  std::vector<DeadLetter> deadLetterLog() const {
+    return deadLetterRing_.snapshot();
+  }
+  /// Ring evictions: dead letters whose full record was discarded to
+  /// stay within the log's capacity (they still count in
+  /// deadLetterCount()).
+  std::uint64_t deadLettersDropped() const noexcept {
+    return deadLetterRing_.dropped();
+  }
+  /// Entries currently retained in the log — the gauge to export.
+  std::size_t deadLetterLogSize() const noexcept {
+    return deadLetterRing_.size();
   }
   /// Deliveries suppressed because the addressee crashed while the
   /// envelope was in flight (fault injection only; each such attempt is
@@ -520,9 +525,8 @@ class Network {
   RpcTraceFn rpcTrace_;
 
   FaultModel faults_;
-  std::uint64_t deadLetters_ = 0;
   std::uint64_t ghostDrops_ = 0;
-  std::vector<DeadLetter> deadLetterLog_;
+  DeadLetterRing deadLetterRing_;
 };
 
 /// RAII helper: installs a meter on construction, restores on destruction.

@@ -64,6 +64,88 @@ struct RpcEnvelope {
   void deserializeFrom(common::Reader& r);
 };
 
+/// Capped exponential retry backoff shared by the simulated fault layer
+/// and the real TCP transport: the timeout for transmission `attempt`
+/// (0 = the original send) is `floorMs` doubled per attempt, with the
+/// exponent capped at 8.  One formula in one place so the simulator's
+/// predicted retry schedule and the wire's measured one cannot drift.
+inline double retryBackoffMs(double floorMs, std::size_t attempt) noexcept {
+  return floorMs * static_cast<double>(
+                       std::uint64_t{1}
+                       << (attempt < 8 ? attempt : std::size_t{8}));
+}
+
+/// An envelope that exhausted its transmission attempts — recorded by the
+/// simulated fault layer (Network) and the real TCP transport alike.
+struct DeadLetter {
+  std::uint64_t rpcId = 0;
+  RpcKind kind = RpcKind::kGet;
+  RingId from{};
+  RingId lastTarget{};    ///< Owner of the key on the last attempt.
+  std::size_t attempts = 0;
+  double at = 0.0;        ///< Simulated ms (Network) / wall ms (TCP).
+};
+
+/// Fixed-capacity ring of the most recent dead letters.  A flapping peer
+/// can dead-letter without bound; diagnostics only need the tail, so the
+/// ring keeps the latest `capacity` entries and counts what it evicted
+/// (`dropped`) next to the all-time total.
+class DeadLetterRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit DeadLetterRing(std::size_t capacity = kDefaultCapacity)
+      : cap_(capacity) {}
+
+  void record(DeadLetter dl) {
+    ++total_;
+    if (cap_ == 0) {
+      ++dropped_;
+      return;
+    }
+    if (ring_.size() < cap_) {
+      ring_.push_back(std::move(dl));
+      return;
+    }
+    ring_[head_] = std::move(dl);  // overwrite the oldest entry
+    head_ = (head_ + 1) % cap_;
+    ++dropped_;
+  }
+
+  /// All-time dead letters recorded (the correctness-facing counter).
+  std::uint64_t total() const noexcept { return total_; }
+  /// Entries evicted from the ring to stay within capacity (gauge of how
+  /// much diagnostic tail has been lost, not of additional failures).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Entries currently held (== min(total, capacity)) — the gauge.
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  /// The retained tail, oldest first.
+  std::vector<DeadLetter> snapshot() const {
+    std::vector<DeadLetter> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t head_ = 0;  ///< Oldest entry once the ring is full.
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<DeadLetter> ring_;
+};
+
 /// Free list of byte buffers for the per-message hot path.  Every RPC
 /// needs two transient vectors (the serialized wire image and the
 /// deserialized payload); recycling them through this pool makes the

@@ -1,25 +1,47 @@
 #include "dht/sim.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/check.h"
 
 namespace mlight::dht {
 
-std::uint64_t schedShuffleSeedFromEnv(std::uint64_t fallback) noexcept {
-  const char* raw = std::getenv("MLIGHT_SCHED_SHUFFLE_SEED");
-  if (raw == nullptr || *raw == '\0') return fallback;
+namespace {
+/// Strict decimal parse shared by the scheduler env knobs: strtoull alone
+/// would accept "17x" (trailing garbage), " 17", "-1" (wraps), and
+/// saturate on overflow — all silent wrong-config runs.  Mirrors the
+/// MLIGHT_FAULT_SEED fix: only an exact digit string parses, anything
+/// else fails loudly instead of silently running the fallback config.
+std::uint64_t strictDecimalEnv(const char* raw, const char* what) {
+  for (const char* p = raw; *p != '\0'; ++p) {
+    MLIGHT_CHECK(*p >= '0' && *p <= '9', what);
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw) return fallback;
+  MLIGHT_CHECK(end != raw && *end == '\0', what);
+  MLIGHT_CHECK(errno != ERANGE, what);
   return static_cast<std::uint64_t>(value);
 }
+}  // namespace
 
-std::size_t simShardsFromEnv(std::size_t fallback) noexcept {
+std::uint64_t schedShuffleSeedFromEnv(std::uint64_t fallback) {
+  const char* raw = std::getenv("MLIGHT_SCHED_SHUFFLE_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return strictDecimalEnv(
+      raw, "MLIGHT_SCHED_SHUFFLE_SEED must be a plain decimal integer");
+}
+
+std::size_t simShardsFromEnv(std::size_t fallback) {
   const char* raw = std::getenv("MLIGHT_SIM_SHARDS");
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || value == 0) return fallback;
+  const std::uint64_t value = strictDecimalEnv(
+      raw, "MLIGHT_SIM_SHARDS must be a plain decimal integer");
+  // 0 shards is not a sharding choice, it is a typo: fail like any other
+  // malformed value instead of silently running the fallback executor.
+  MLIGHT_CHECK(value != 0, "MLIGHT_SIM_SHARDS must be >= 1");
   return value > 64 ? 64 : static_cast<std::size_t>(value);
 }
 

@@ -81,16 +81,20 @@ class SimClock {
 /// Priority event queue + clock.  The apply path is single-threaded by
 /// contract (the coordinator); only the window prep phase fans out to
 /// shard workers, and those never touch simulation state.
-/// Reads `MLIGHT_SCHED_SHUFFLE_SEED` from the environment (decimal),
-/// falling back to `fallback` (0 = shuffle off) when unset/empty — how
-/// the determinism CI job perturbs every scheduler in a test binary
-/// without touching code.
-std::uint64_t schedShuffleSeedFromEnv(std::uint64_t fallback = 0) noexcept;
+/// Reads `MLIGHT_SCHED_SHUFFLE_SEED` from the environment (strict
+/// decimal), falling back to `fallback` (0 = shuffle off) when
+/// unset/empty — how the determinism CI job perturbs every scheduler in
+/// a test binary without touching code.  Malformed values throw
+/// common::CheckFailure (same contract as dht::faultSeedFromEnv) instead
+/// of silently running the unshuffled schedule.
+std::uint64_t schedShuffleSeedFromEnv(std::uint64_t fallback = 0);
 
-/// Reads `MLIGHT_SIM_SHARDS` from the environment (decimal, clamped to
-/// [1, 64]), falling back to `fallback` when unset/empty — how CI runs
-/// the whole suite under the sharded executor without touching code.
-std::size_t simShardsFromEnv(std::size_t fallback = 1) noexcept;
+/// Reads `MLIGHT_SIM_SHARDS` from the environment (strict decimal,
+/// clamped to [1, 64]), falling back to `fallback` when unset/empty —
+/// how CI runs the whole suite under the sharded executor without
+/// touching code.  Malformed values and 0 throw common::CheckFailure
+/// instead of silently running the serial executor.
+std::size_t simShardsFromEnv(std::size_t fallback = 1);
 
 class SimScheduler {
  public:

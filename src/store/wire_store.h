@@ -1,0 +1,179 @@
+// Owner-side handler entry points for the wire transport.
+//
+// A physical peer serving real traffic holds one WireStore: a sorted
+// record store (u64 key -> u64 value) plus the request dispatcher that
+// turns an inbound RpcEnvelope into the kResponse envelope to ship
+// back.  The same class serves both transport backends — the simulator
+// invokes handle() from a Network delivery handler, a TcpPeerServer
+// invokes it from its socket event loop — so "0 wrong answers" on the
+// wire is checkable against the simulated world byte for byte.
+//
+// Supported verbs and payload formats (all little-endian serde):
+//   kBatchPut  request:  u32 count, count x (u64 key, u64 value)
+//              response: u32 stored
+//   kGet       request:  u64 key
+//              response: u8 found, u64 value (0 when absent)
+//   kVisit     request:  u64 lo, u64 hi          — inclusive key range
+//              response: u32 count, count x (u64 key, u64 value)
+//                        (this peer's records in [lo, hi], ascending)
+//
+// Record keys are application-level u64s; their ring placement is
+// wireRingKey() (a splitmix64 mix), shared by clients of both backends
+// so ownership agrees everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/serde.h"
+#include "dht/id.h"
+#include "dht/rpc.h"
+
+namespace mlight::store {
+
+/// Ring position of a wire record key: splitmix64 finalizer, a cheap
+/// bijective mix giving the uniform placement consistent hashing needs.
+/// Both transport backends MUST place through this one function.
+inline dht::RingId wireRingKey(std::uint64_t recordKey) noexcept {
+  std::uint64_t z = recordKey + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return dht::RingId{z ^ (z >> 31)};
+}
+
+class WireStore {
+ public:
+  using Record = std::pair<std::uint64_t, std::uint64_t>;
+
+  /// Applies `req` against local state and returns the response
+  /// envelope (kind kResponse, id echoed for client-side correlation,
+  /// from/to swapped).  Throws common::SerdeError on a malformed or
+  /// unsupported request — the transport drops the connection, exactly
+  /// as it would for a corrupt frame.
+  dht::RpcEnvelope handle(const dht::RpcEnvelope& req) {
+    dht::RpcEnvelope resp;
+    resp.id = req.id;
+    resp.kind = dht::RpcKind::kResponse;
+    resp.from = req.to;
+    resp.to = req.from;
+    resp.round = req.round;
+    common::Reader r(req.payload);
+    common::Writer w;
+    switch (req.kind) {
+      case dht::RpcKind::kBatchPut: {
+        const std::uint32_t count = r.readCount(16);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint64_t key = r.readU64();
+          records_[key] = r.readU64();
+        }
+        w.writeU32(count);
+        break;
+      }
+      case dht::RpcKind::kGet: {
+        const std::uint64_t key = r.readU64();
+        const auto it = records_.find(key);
+        w.writeU8(it != records_.end() ? 1 : 0);
+        w.writeU64(it != records_.end() ? it->second : 0);
+        break;
+      }
+      case dht::RpcKind::kVisit: {
+        const std::uint64_t lo = r.readU64();
+        const std::uint64_t hi = r.readU64();
+        if (lo > hi) throw common::SerdeError("wire: inverted range");
+        // std::map iteration is ascending by key: the response order is
+        // deterministic and mergeable by the client.
+        std::uint32_t count = 0;
+        for (auto it = records_.lower_bound(lo);
+             it != records_.end() && it->first <= hi; ++it) {
+          ++count;
+        }
+        w.writeU32(count);
+        for (auto it = records_.lower_bound(lo);
+             it != records_.end() && it->first <= hi; ++it) {
+          w.writeU64(it->first);
+          w.writeU64(it->second);
+        }
+        break;
+      }
+      default:
+        throw common::SerdeError("wire: unsupported request kind");
+    }
+    if (!r.atEnd()) throw common::SerdeError("wire: trailing bytes");
+    resp.payload = std::move(w).take();
+    return resp;
+  }
+
+  std::size_t recordCount() const noexcept { return records_.size(); }
+
+  // --- client-side payload builders / response decoders -----------------
+
+  static std::vector<std::uint8_t> encodeBatchPut(
+      std::span<const Record> records) {
+    common::Writer w;
+    w.writeU32(static_cast<std::uint32_t>(records.size()));
+    for (const Record& rec : records) {
+      w.writeU64(rec.first);
+      w.writeU64(rec.second);
+    }
+    return std::move(w).take();
+  }
+
+  static std::vector<std::uint8_t> encodeGet(std::uint64_t key) {
+    common::Writer w;
+    w.writeU64(key);
+    return std::move(w).take();
+  }
+
+  static std::vector<std::uint8_t> encodeRange(std::uint64_t lo,
+                                               std::uint64_t hi) {
+    common::Writer w;
+    w.writeU64(lo);
+    w.writeU64(hi);
+    return std::move(w).take();
+  }
+
+  static std::uint32_t decodeBatchPutResponse(
+      std::span<const std::uint8_t> payload) {
+    common::Reader r(payload);
+    const std::uint32_t stored = r.readU32();
+    if (!r.atEnd()) throw common::SerdeError("wire: trailing bytes");
+    return stored;
+  }
+
+  struct GetResult {
+    bool found = false;
+    std::uint64_t value = 0;
+  };
+
+  static GetResult decodeGetResponse(std::span<const std::uint8_t> payload) {
+    common::Reader r(payload);
+    GetResult out;
+    out.found = r.readU8() != 0;
+    out.value = r.readU64();
+    if (!r.atEnd()) throw common::SerdeError("wire: trailing bytes");
+    return out;
+  }
+
+  static std::vector<Record> decodeRangeResponse(
+      std::span<const std::uint8_t> payload) {
+    common::Reader r(payload);
+    const std::uint32_t count = r.readCount(16);
+    std::vector<Record> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t key = r.readU64();
+      out.emplace_back(key, r.readU64());
+    }
+    if (!r.atEnd()) throw common::SerdeError("wire: trailing bytes");
+    return out;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> records_;
+};
+
+}  // namespace mlight::store

@@ -1,0 +1,65 @@
+#include "transport/frame.h"
+
+#include "common/serde.h"
+
+namespace mlight::transport {
+
+void encodeFrame(const dht::RpcEnvelope& env, std::vector<std::uint8_t>& out) {
+  common::Writer w;
+  env.serialize(w);
+  const std::vector<std::uint8_t>& body = w.bytes();
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+bool FrameReader::peekLength(std::uint32_t& len) const noexcept {
+  if (buffered() < kFrameHeaderBytes) return false;
+  len = 0;
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[head_ + i]) << (8 * i);
+  }
+  return true;
+}
+
+bool FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return false;
+  buf_.insert(buf_.end(), data, data + n);
+  // Reject an oversized announcement as soon as its header is complete,
+  // before buffering any of the body.
+  std::uint32_t len = 0;
+  if (peekLength(len) && len > maxFrameBytes_) {
+    poisoned_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool FrameReader::next(dht::RpcEnvelope& out) {
+  if (poisoned_) return false;
+  std::uint32_t len = 0;
+  if (!peekLength(len)) return false;
+  if (len > maxFrameBytes_) {
+    poisoned_ = true;
+    return false;
+  }
+  if (buffered() < kFrameHeaderBytes + len) return false;
+  common::Reader r({buf_.data() + head_ + kFrameHeaderBytes, len});
+  out.deserializeFrom(r);
+  if (!r.atEnd()) {
+    throw common::SerdeError("frame: trailing bytes after envelope");
+  }
+  head_ += kFrameHeaderBytes + len;
+  // Compact once the consumed prefix dominates, keeping feed() appends
+  // amortized O(1) without unbounded retention of dead bytes.
+  if (head_ > 4096 && head_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return true;
+}
+
+}  // namespace mlight::transport

@@ -1,0 +1,59 @@
+#include "transport/ring_map.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace mlight::transport {
+
+RingMap::RingMap(std::size_t peerCount, std::size_t vnodesPerPeer) {
+  MLIGHT_CHECK(peerCount >= 1, "RingMap needs at least one peer");
+  MLIGHT_CHECK(vnodesPerPeer >= 1, "RingMap needs at least one vnode");
+  // Mirror of Network's bulk constructor: same names, same hash, same
+  // sort tie-break, same collision bump — any divergence here is an
+  // ownership disagreement between the simulated and the wire world.
+  struct Vnode {
+    dht::RingId id;
+    std::size_t physical;
+  };
+  std::vector<Vnode> vnodes;
+  vnodes.reserve(peerCount * vnodesPerPeer);
+  firstVnode_.reserve(peerCount);
+  for (std::size_t i = 0; i < peerCount; ++i) {
+    const std::string name = "node:" + std::to_string(i);
+    for (std::size_t v = 0; v < vnodesPerPeer; ++v) {
+      const dht::RingId id =
+          dht::keyId("peer-id:" + name + "#" + std::to_string(v));
+      vnodes.push_back(Vnode{id, i});
+      if (v == 0) firstVnode_.push_back(id);
+    }
+  }
+  std::sort(vnodes.begin(), vnodes.end(),
+            [](const Vnode& a, const Vnode& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.physical < b.physical;
+            });
+  for (std::size_t k = 1; k < vnodes.size(); ++k) {
+    if (vnodes[k].id == vnodes[k - 1].id) vnodes[k].id.value += 1;
+  }
+  ring_.reserve(vnodes.size());
+  for (const Vnode& v : vnodes) {
+    ring_.push_back(v.id);
+    vnodeToPeer_[v.id] = v.physical;
+  }
+}
+
+dht::RingId RingMap::responsible(dht::RingId h) const noexcept {
+  auto it = std::upper_bound(ring_.begin(), ring_.end(), h);
+  if (it == ring_.begin()) return ring_.back();
+  return *std::prev(it);
+}
+
+std::size_t RingMap::peerOf(dht::RingId vnode) const {
+  const auto it = vnodeToPeer_.find(vnode);
+  MLIGHT_CHECK(it != vnodeToPeer_.end(), "peerOf: unknown vnode");
+  return it->second;
+}
+
+}  // namespace mlight::transport

@@ -1,0 +1,280 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+// DET-ALLOW(wall-clock timeouts are the measured quantity on the real wire; never reachable from simulated paths)
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/serde.h"
+
+namespace mlight::transport {
+
+namespace {
+
+/// Monotonic wall milliseconds — the real-transport clock.  The retry
+/// deadlines below mirror the simulator's formula exactly, just against
+/// this clock instead of SimClock.
+double wallMs() {
+  // DET-ALLOW(real transport timeouts measure wall time by definition)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  MLIGHT_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  MLIGHT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(const RingMap& map, std::vector<PeerAddr> peers,
+                           TcpConfig cfg)
+    : map_(map), cfg_(cfg) {
+  MLIGHT_CHECK(peers.size() == map.peerCount(),
+               "TcpTransport: address list does not match the ring");
+  endpoints_.reserve(peers.size());
+  for (PeerAddr& addr : peers) {
+    Endpoint ep(cfg_.maxFrameBytes);
+    ep.addr = std::move(addr);
+    endpoints_.push_back(std::move(ep));
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (Endpoint& ep : endpoints_) closeEndpoint(ep);
+}
+
+void TcpTransport::closeEndpoint(Endpoint& ep) {
+  if (ep.fd >= 0) {
+    ::close(ep.fd);
+    ep.fd = -1;
+  }
+  ep.connecting = false;
+  ep.reader = FrameReader(cfg_.maxFrameBytes);
+  ep.out.clear();
+  ep.outHead = 0;
+}
+
+bool TcpTransport::ensureConnected(std::size_t peer) {
+  Endpoint& ep = endpoints_[peer];
+  if (ep.fd >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MLIGHT_CHECK(fd >= 0, "socket() failed");
+  setNonBlocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.addr.port);
+  if (::inet_pton(AF_INET, ep.addr.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    ep.fd = fd;
+    ep.connecting = false;
+    return true;
+  }
+  if (errno == EINPROGRESS) {
+    ep.fd = fd;
+    ep.connecting = true;  // completes on POLLOUT
+    return true;
+  }
+  ::close(fd);
+  return false;
+}
+
+void TcpTransport::transmit(Pending& p) {
+  // Arm the attempt's timeout first: even a failed connect burns an
+  // attempt on the same schedule the simulator would use.
+  p.deadlineMs =
+      wallMs() + dht::retryBackoffMs(cfg_.timeoutFloorMs, p.attempt);
+  if (!ensureConnected(p.peer)) return;  // timeout drives the retry
+  encodeFrame(p.env, endpoints_[p.peer].out);
+}
+
+void TcpTransport::call(dht::RingId key, dht::RpcEnvelope env, ReplyFn onReply,
+                        FailFn onFail) {
+  env.id = nextId_++;
+  env.to = map_.responsible(key);
+  Pending p;
+  p.peer = map_.peerOf(env.to);
+  p.env = std::move(env);
+  p.onReply = std::move(onReply);
+  p.onFail = std::move(onFail);
+  auto [it, inserted] = pending_.emplace(p.env.id, std::move(p));
+  MLIGHT_CHECK(inserted, "duplicate envelope id");
+  transmit(it->second);
+  pump(0);  // opportunistically move bytes without blocking
+}
+
+void TcpTransport::onReadable(Endpoint& ep) {
+  std::uint8_t buf[4096];
+  bool broken = false;
+  for (;;) {
+    const ssize_t n = ::recv(ep.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!ep.reader.feed(buf, static_cast<std::size_t>(n))) {
+        broken = true;  // oversized server frame: drop the connection
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      broken = true;  // server closed (possibly mid-frame)
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    broken = true;
+    break;
+  }
+  try {
+    dht::RpcEnvelope resp;
+    while (ep.reader.next(resp)) {
+      const auto it = pending_.find(resp.id);
+      if (it == pending_.end()) continue;  // late reply of a retried rpc
+      ReplyFn onReply = std::move(it->second.onReply);
+      pending_.erase(it);
+      if (onReply) onReply(resp);
+    }
+  } catch (const common::SerdeError&) {
+    broken = true;  // malformed reply: reconnect, timeouts recover
+  }
+  if (broken) {
+    closeEndpoint(ep);
+    ++reconnects_;
+  }
+}
+
+void TcpTransport::fireExpired() {
+  const double now = wallMs();
+  // Collect first: onFail may issue new calls, mutating pending_.
+  std::vector<std::uint64_t> expired;
+  for (const auto& kv : pending_) {
+    if (kv.second.deadlineMs <= now) expired.push_back(kv.first);
+  }
+  for (const std::uint64_t id : expired) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    Pending& p = it->second;
+    if (p.attempt + 1 >= cfg_.maxAttempts) {
+      deadLetters_.record(dht::DeadLetter{p.env.id, p.env.kind, p.env.from,
+                                          p.env.to, p.attempt + 1, now});
+      FailFn onFail = std::move(p.onFail);
+      dht::RpcEnvelope env = std::move(p.env);
+      const std::size_t attempts = p.attempt + 1;
+      pending_.erase(it);
+      if (onFail) onFail(env, attempts);
+      continue;
+    }
+    // Retransmit: a broken pooled connection was already torn down, so
+    // transmit() reconnects; the frame is re-queued verbatim (same id —
+    // the server's map assignment is idempotent, and a late first reply
+    // correlates fine).
+    ++p.attempt;
+    transmit(p);
+  }
+}
+
+void TcpTransport::pump(int maxWaitMs) {
+  // Deadline-aware wait bound: never sleep past the nearest retry.
+  double nearest = -1.0;
+  for (const auto& kv : pending_) {
+    const double d = kv.second.deadlineMs;
+    if (nearest < 0.0 || d < nearest) nearest = d;
+  }
+  int timeout = maxWaitMs;
+  if (nearest >= 0.0) {
+    const double untilMs = std::max(0.0, nearest - wallMs());
+    timeout = std::min(timeout, static_cast<int>(std::ceil(untilMs)));
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> peerOfFd;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const Endpoint& ep = endpoints_[i];
+    if (ep.fd < 0) continue;
+    short events = POLLIN;
+    if (ep.connecting || ep.outHead < ep.out.size()) {
+      events = static_cast<short>(events | POLLOUT);
+    }
+    fds.push_back(pollfd{ep.fd, events, 0});
+    peerOfFd.push_back(i);
+  }
+  if (fds.empty()) {
+    // Nothing connected (e.g. every connect failed): still honor the
+    // wait bound so drain() paces retries instead of spinning.
+    if (timeout > 0) ::poll(nullptr, 0, timeout);
+  } else {
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready > 0) {
+      for (std::size_t k = 0; k < fds.size(); ++k) {
+        Endpoint& ep = endpoints_[peerOfFd[k]];
+        if (ep.fd != fds[k].fd) continue;  // closed by an earlier event
+        const short re = fds[k].revents;
+        if ((re & (POLLERR | POLLNVAL)) != 0) {
+          closeEndpoint(ep);
+          ++reconnects_;
+          continue;
+        }
+        if ((re & POLLOUT) != 0) {
+          if (ep.connecting) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(ep.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err != 0) {
+              closeEndpoint(ep);
+              ++reconnects_;
+              continue;
+            }
+            ep.connecting = false;
+          }
+          while (ep.outHead < ep.out.size()) {
+            const ssize_t n = ::send(ep.fd, ep.out.data() + ep.outHead,
+                                     ep.out.size() - ep.outHead,
+                                     MSG_NOSIGNAL);
+            if (n > 0) {
+              ep.outHead += static_cast<std::size_t>(n);
+              continue;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            closeEndpoint(ep);
+            ++reconnects_;
+            break;
+          }
+          if (ep.fd >= 0 && ep.outHead == ep.out.size()) {
+            ep.out.clear();
+            ep.outHead = 0;
+          }
+        }
+        if (ep.fd >= 0 && (re & (POLLIN | POLLHUP)) != 0) onReadable(ep);
+      }
+    }
+  }
+  fireExpired();
+}
+
+void TcpTransport::drain() {
+  while (!pending_.empty()) pump(50);
+}
+
+}  // namespace mlight::transport

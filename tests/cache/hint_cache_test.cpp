@@ -178,10 +178,24 @@ TEST(CacheEnv, ExplicitOffValuesDisable) {
   }
 }
 
-TEST(CacheEnv, AnyOtherValueEnables) {
-  for (const char* on : {"1", "on", "yes"}) {
+TEST(CacheEnv, ExplicitOnValuesEnable) {
+  for (const char* on : {"1", "on", "true", "yes"}) {
     ScopedCacheEnv env(on);
     EXPECT_TRUE(cacheEnabledFromEnv(false)) << "value: " << on;
+  }
+}
+
+// A typo used to silently *enable* the cache (any non-off value was
+// treated as on) — now anything outside the two explicit value sets
+// fails loudly, mirroring the MLIGHT_FAULT_SEED contract.
+TEST(CacheEnv, MalformedValuesThrow) {
+  for (const char* bad :
+       {"2", "enabled", "ON", "offf", " 1", "1 ", "tru", "no"}) {
+    ScopedCacheEnv env(bad);
+    EXPECT_THROW(cacheEnabledFromEnv(false), mlight::common::CheckFailure)
+        << "value: " << bad;
+    EXPECT_THROW(cacheEnabledFromEnv(true), mlight::common::CheckFailure)
+        << "value: " << bad;
   }
 }
 

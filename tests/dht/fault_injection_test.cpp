@@ -67,6 +67,45 @@ TEST(FaultSeed, MalformedEnvironmentFailsLoudly) {
   ::unsetenv("MLIGHT_FAULT_SEED");
 }
 
+// The scheduler env knobs share MLIGHT_FAULT_SEED's contract since the
+// transport PR: malformed values fail loudly instead of silently running
+// the fallback executor (a CI shard-matrix cell that typos its value
+// would otherwise test the serial path while claiming N shards).
+TEST(SimShardsEnv, ReadsEnvironmentWithFallbackAndClamp) {
+  ::unsetenv("MLIGHT_SIM_SHARDS");
+  EXPECT_EQ(simShardsFromEnv(3), 3u);
+  ::setenv("MLIGHT_SIM_SHARDS", "", 1);
+  EXPECT_EQ(simShardsFromEnv(3), 3u);
+  ::setenv("MLIGHT_SIM_SHARDS", "4", 1);
+  EXPECT_EQ(simShardsFromEnv(3), 4u);
+  ::setenv("MLIGHT_SIM_SHARDS", "65", 1);
+  EXPECT_EQ(simShardsFromEnv(3), 64u);  // documented [1, 64] clamp
+  ::unsetenv("MLIGHT_SIM_SHARDS");
+}
+
+TEST(SimShardsEnv, MalformedEnvironmentFailsLoudly) {
+  for (const char* bad : {"4abc", "abc", "-4", "+4", " 4", "4 ", "0x4",
+                          "4.5", "0", "99999999999999999999"}) {
+    ::setenv("MLIGHT_SIM_SHARDS", bad, 1);
+    EXPECT_THROW(simShardsFromEnv(3), mlight::common::CheckFailure)
+        << "accepted \"" << bad << '"';
+  }
+  ::unsetenv("MLIGHT_SIM_SHARDS");
+}
+
+TEST(ShuffleSeedEnv, MalformedEnvironmentFailsLoudly) {
+  for (const char* bad : {"7abc", "abc", "-7", " 7", "0x7",
+                          "99999999999999999999"}) {
+    ::setenv("MLIGHT_SCHED_SHUFFLE_SEED", bad, 1);
+    EXPECT_THROW(schedShuffleSeedFromEnv(7), mlight::common::CheckFailure)
+        << "accepted \"" << bad << '"';
+  }
+  ::setenv("MLIGHT_SCHED_SHUFFLE_SEED", "42", 1);
+  EXPECT_EQ(schedShuffleSeedFromEnv(7), 42u);
+  ::unsetenv("MLIGHT_SCHED_SHUFFLE_SEED");
+  EXPECT_EQ(schedShuffleSeedFromEnv(7), 7u);
+}
+
 RpcEnvelope makeEnv(RingId from, std::uint32_t round = 1) {
   RpcEnvelope env;
   env.kind = RpcKind::kGet;
@@ -135,8 +174,71 @@ TEST(FaultInjection, TotalLossBecomesDeadLetter) {
   EXPECT_EQ(net.deadLetterCount(), 1u);
   ASSERT_EQ(net.deadLetterLog().size(), 1u);
   EXPECT_EQ(net.deadLetterLog()[0].attempts, 4u);
+  EXPECT_EQ(net.deadLetterLogSize(), 1u);
+  EXPECT_EQ(net.deadLettersDropped(), 0u);
   // 4 attempts = the original send + 3 retries.
   EXPECT_EQ(net.totalCost().retries, 3u);
+}
+
+// The log is a ring: a flapping peer can dead-letter without bound, so
+// only the most recent entries keep their full record, evictions are
+// counted, and the all-time total (the digest-pinned counter) is
+// unaffected by capacity.
+TEST(DeadLetterRing, KeepsLatestEntriesAndCountsDrops) {
+  DeadLetterRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    DeadLetter dl;
+    dl.rpcId = i;
+    dl.attempts = static_cast<std::size_t>(i);
+    ring.record(dl);
+  }
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  const std::vector<DeadLetter> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].rpcId, 6u + i);  // oldest retained -> newest
+  }
+}
+
+TEST(DeadLetterRing, BelowCapacityRetainsEverythingInOrder) {
+  DeadLetterRing ring;  // default capacity (64)
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    DeadLetter dl;
+    dl.rpcId = i;
+    ring.record(dl);
+  }
+  EXPECT_EQ(ring.total(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.size(), 3u);
+  const std::vector<DeadLetter> snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].rpcId, 0u);
+  EXPECT_EQ(snap[2].rpcId, 2u);
+  ring.clear();
+  EXPECT_EQ(ring.total(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(DeadLetterRing, NetworkLogCapsAtRingCapacityTotalKeepsCounting) {
+  Network net(16);
+  FaultModel faults;
+  faults.enabled = true;
+  faults.lossProbability = 1.0;
+  faults.maxAttempts = 1;  // every send dead-letters immediately
+  net.setFaultModel(faults);
+  const std::size_t kSends = DeadLetterRing::kDefaultCapacity + 40;
+  for (std::size_t i = 0; i < kSends; ++i) {
+    net.sendRpc(keyId("faults/flap-" + std::to_string(i)),
+                makeEnv(net.peers()[i % 16]), [](const RpcDelivery&) {});
+  }
+  net.run();
+  EXPECT_EQ(net.deadLetterCount(), kSends);
+  EXPECT_EQ(net.deadLetterLogSize(), DeadLetterRing::kDefaultCapacity);
+  EXPECT_EQ(net.deadLettersDropped(), kSends - DeadLetterRing::kDefaultCapacity);
+  EXPECT_EQ(net.deadLetterLog().size(), DeadLetterRing::kDefaultCapacity);
 }
 
 TEST(FaultInjection, CrashInFlightSuppressesGhostDelivery) {

@@ -1,0 +1,150 @@
+// Transport framing: serde round-trip through a real socketpair,
+// partial-frame reassembly under a 1-byte drip feed, oversized-frame
+// rejection, and stream-poisoning semantics.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "dht/rpc.h"
+#include "transport/frame.h"
+
+namespace mlight::transport {
+namespace {
+
+dht::RpcEnvelope sampleEnvelope(std::uint64_t id = 42) {
+  dht::RpcEnvelope env;
+  env.id = id;
+  env.kind = dht::RpcKind::kBatchPut;
+  env.from = dht::RingId{0x1111222233334444ull};
+  env.to = dht::RingId{0x5555666677778888ull};
+  env.round = 3;
+  env.payload = {1, 2, 3, 4, 5, 6, 7};
+  return env;
+}
+
+void expectEqual(const dht::RpcEnvelope& a, const dht::RpcEnvelope& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.from, b.from);
+  EXPECT_EQ(a.to, b.to);
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(Framing, RoundTripThroughRealSocketpair) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const dht::RpcEnvelope sent = sampleEnvelope();
+  std::vector<std::uint8_t> wire;
+  encodeFrame(sent, wire);
+  ASSERT_EQ(::send(sp[0], wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  FrameReader reader;
+  dht::RpcEnvelope got;
+  std::uint8_t buf[4096];
+  bool decoded = false;
+  while (!decoded) {
+    const ssize_t n = ::recv(sp[1], buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    ASSERT_TRUE(reader.feed(buf, static_cast<std::size_t>(n)));
+    decoded = reader.next(got);
+  }
+  expectEqual(sent, got);
+  EXPECT_EQ(reader.buffered(), 0u);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(Framing, OneByteDripFeedReassembles) {
+  // TCP guarantees nothing about chunk boundaries; the pathological
+  // worst case is one byte at a time, across several back-to-back
+  // frames.
+  std::vector<std::uint8_t> wire;
+  const dht::RpcEnvelope first = sampleEnvelope(1);
+  const dht::RpcEnvelope second = sampleEnvelope(2);
+  encodeFrame(first, wire);
+  encodeFrame(second, wire);
+
+  FrameReader reader;
+  std::vector<dht::RpcEnvelope> got;
+  dht::RpcEnvelope env;
+  for (const std::uint8_t byte : wire) {
+    ASSERT_TRUE(reader.feed(&byte, 1));
+    while (reader.next(env)) got.push_back(env);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  expectEqual(first, got[0]);
+  expectEqual(second, got[1]);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Framing, IncompleteFrameYieldsNothing) {
+  std::vector<std::uint8_t> wire;
+  encodeFrame(sampleEnvelope(), wire);
+  FrameReader reader;
+  ASSERT_TRUE(reader.feed(wire.data(), wire.size() - 1));  // one byte short
+  dht::RpcEnvelope env;
+  EXPECT_FALSE(reader.next(env));
+  EXPECT_EQ(reader.buffered(), wire.size() - 1);
+}
+
+TEST(Framing, OversizedFramePoisonsTheStream) {
+  FrameReader reader(/*maxFrameBytes=*/64);
+  // Header announcing 65 bytes: one past the ceiling.
+  const std::uint8_t header[4] = {65, 0, 0, 0};
+  EXPECT_FALSE(reader.feed(header, sizeof(header)));
+  EXPECT_TRUE(reader.poisoned());
+  // A poisoned stream never yields frames or accepts bytes again.
+  dht::RpcEnvelope env;
+  EXPECT_FALSE(reader.next(env));
+  const std::uint8_t more = 0;
+  EXPECT_FALSE(reader.feed(&more, 1));
+}
+
+TEST(Framing, OversizedDetectedEvenWhenHeaderArrivesBytewise) {
+  FrameReader reader(/*maxFrameBytes=*/64);
+  const std::uint8_t header[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reader.feed(&header[i], 1));  // header still incomplete
+  }
+  EXPECT_FALSE(reader.feed(&header[3], 1));
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(Framing, FrameAtExactCeilingPasses) {
+  // The boundary frame (announced length == ceiling) must parse: the
+  // client-side batcher sizes batches against this same constant.
+  dht::RpcEnvelope env = sampleEnvelope();
+  env.payload.assign(100, 0xAB);
+  std::vector<std::uint8_t> wire;
+  encodeFrame(env, wire);
+  const std::size_t bodyBytes = wire.size() - kFrameHeaderBytes;
+  FrameReader reader(bodyBytes);
+  ASSERT_TRUE(reader.feed(wire.data(), wire.size()));
+  dht::RpcEnvelope got;
+  ASSERT_TRUE(reader.next(got));
+  expectEqual(env, got);
+}
+
+TEST(Framing, TrailingBytesInsideFrameThrow) {
+  // A frame whose length covers the envelope plus junk is a protocol
+  // violation, not silently ignorable padding.
+  dht::RpcEnvelope env = sampleEnvelope();
+  std::vector<std::uint8_t> wire;
+  encodeFrame(env, wire);
+  wire.push_back(0xEE);  // extend the body...
+  wire[0] += 1;          // ...and the announced length with it
+  FrameReader reader;
+  ASSERT_TRUE(reader.feed(wire.data(), wire.size()));
+  dht::RpcEnvelope got;
+  EXPECT_THROW(reader.next(got), common::SerdeError);
+}
+
+}  // namespace
+}  // namespace mlight::transport

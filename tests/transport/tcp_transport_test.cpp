@@ -1,0 +1,253 @@
+// TCP backend: loopback request/response through real sockets, the
+// retry/timeout machinery against misbehaving servers, and the
+// dead-letter ring when a peer never produces a well-formed reply
+// (including the mid-frame-disconnect case).
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "store/wire_store.h"
+#include "transport/ring_map.h"
+#include "transport/tcp.h"
+
+namespace mlight::transport {
+namespace {
+
+using store::WireStore;
+using store::wireRingKey;
+
+dht::RpcEnvelope request(dht::RpcKind kind, std::vector<std::uint8_t> payload) {
+  dht::RpcEnvelope env;
+  env.kind = kind;
+  env.payload = std::move(payload);
+  return env;
+}
+
+TEST(TcpTransport, InsertAndGetThroughRealSockets) {
+  constexpr std::size_t kPeers = 4;
+  RingMap map(kPeers);
+  std::vector<TcpPeerServer> servers(kPeers);
+  std::vector<PeerAddr> addrs(kPeers);
+  for (std::size_t i = 0; i < kPeers; ++i) addrs[i].port = servers[i].start();
+
+  TcpConfig cfg;
+  cfg.timeoutFloorMs = 200.0;  // generous: a loaded CI box must not retry
+  TcpTransport client(map, addrs, cfg);
+
+  // Insert 100 records in batches, addressed by the shared placement mix.
+  std::vector<WireStore::Record> batch;
+  std::uint32_t stored = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    batch.emplace_back(k, k * 10 + 1);
+    if (batch.size() == 16 || k == 99) {
+      // One batch per owner peer: group records by responsible peer.
+      for (std::size_t p = 0; p < kPeers; ++p) {
+        std::vector<WireStore::Record> mine;
+        for (const auto& rec : batch) {
+          if (map.ownerPeer(wireRingKey(rec.first)) == p) {
+            mine.push_back(rec);
+          }
+        }
+        if (mine.empty()) continue;
+        client.call(wireRingKey(mine[0].first),
+                    request(dht::RpcKind::kBatchPut,
+                            WireStore::encodeBatchPut(mine)),
+                    [&stored](const dht::RpcEnvelope& resp) {
+                      stored += WireStore::decodeBatchPutResponse(resp.payload);
+                    },
+                    nullptr);
+      }
+      batch.clear();
+    }
+  }
+  client.drain();
+  EXPECT_EQ(stored, 100u);
+  EXPECT_EQ(client.deadLetterTotal(), 0u);
+
+  // Every record is retrievable from whatever peer owns it.
+  std::size_t found = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    client.call(wireRingKey(k),
+                request(dht::RpcKind::kGet, WireStore::encodeGet(k)),
+                [&found, k](const dht::RpcEnvelope& resp) {
+                  const WireStore::GetResult r =
+                      WireStore::decodeGetResponse(resp.payload);
+                  EXPECT_TRUE(r.found);
+                  EXPECT_EQ(r.value, k * 10 + 1);
+                  ++found;
+                },
+                nullptr);
+  }
+  client.drain();
+  EXPECT_EQ(found, 100u);
+  EXPECT_EQ(client.deadLetterTotal(), 0u);
+
+  // Range query: broadcast to all peers, merged result must be exact.
+  std::vector<WireStore::Record> merged;
+  for (std::size_t p = 0; p < kPeers; ++p) {
+    client.call(map.firstVnode(p),
+                request(dht::RpcKind::kVisit, WireStore::encodeRange(10, 19)),
+                [&merged](const dht::RpcEnvelope& resp) {
+                  for (const auto& rec :
+                       WireStore::decodeRangeResponse(resp.payload)) {
+                    merged.push_back(rec);
+                  }
+                },
+                nullptr);
+  }
+  client.drain();
+  ASSERT_EQ(merged.size(), 10u);
+
+  std::size_t records = 0;
+  for (auto& s : servers) {
+    s.stop();
+    records += s.store().recordCount();
+  }
+  EXPECT_EQ(records, 100u);
+}
+
+TEST(TcpTransport, ConnectRefusedExhaustsRetriesIntoDeadLetterRing) {
+  RingMap map(1);
+  // Reserve a port with a bound-but-closed socket so nothing listens.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  socklen_t len = sizeof(sa);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&sa), &len), 0);
+  const std::uint16_t deadPort = ntohs(sa.sin_port);
+  ::close(probe);
+
+  TcpConfig cfg;
+  cfg.timeoutFloorMs = 2.0;  // keep the backoff ladder test-fast
+  cfg.maxAttempts = 3;
+  TcpTransport client(map, {PeerAddr{"127.0.0.1", deadPort}}, cfg);
+
+  std::size_t failedAttempts = 0;
+  client.call(wireRingKey(7),
+              request(dht::RpcKind::kGet, WireStore::encodeGet(7)),
+              [](const dht::RpcEnvelope&) { FAIL() << "unexpected reply"; },
+              [&failedAttempts](const dht::RpcEnvelope&,
+                                std::size_t attempts) {
+                failedAttempts = attempts;
+              });
+  client.drain();
+  EXPECT_EQ(failedAttempts, 3u);
+  EXPECT_EQ(client.deadLetterTotal(), 1u);
+  EXPECT_EQ(client.deadLetterLogSize(), 1u);
+  EXPECT_EQ(client.deadLettersDropped(), 0u);
+  const std::vector<dht::DeadLetter> log = client.deadLetterRing().snapshot();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].attempts, 3u);
+  EXPECT_EQ(log[0].kind, dht::RpcKind::kGet);
+}
+
+/// A hostile peer: accepts, reads the request, writes half a response
+/// frame, and slams the connection — forever.  Every client attempt sees
+/// a mid-frame disconnect.
+class MidFrameKiller {
+ public:
+  MidFrameKiller() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    socklen_t len = sizeof(sa);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+    port_ = ntohs(sa.sin_port);
+    ::listen(fd_, 16);
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~MidFrameKiller() {
+    stop_.store(true);
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t kills() const { return kills_.load(); }
+
+ private:
+  void loop() {
+    while (!stop_.load()) {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn < 0) return;  // listener closed
+      std::uint8_t buf[4096];
+      // Read one request's worth of bytes (best effort), then emit a
+      // torn frame: a plausible header plus half a body.
+      (void)::recv(conn, buf, sizeof(buf), 0);
+      const std::uint8_t torn[] = {64, 0, 0, 0, 0xDE, 0xAD};
+      (void)::send(conn, torn, sizeof(torn), MSG_NOSIGNAL);
+      ::close(conn);
+      kills_.fetch_add(1);
+    }
+  }
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> kills_{0};
+};
+
+TEST(TcpTransport, MidFrameDisconnectBecomesDeadLetter) {
+  MidFrameKiller killer;
+  RingMap map(1);
+  TcpConfig cfg;
+  cfg.timeoutFloorMs = 5.0;
+  cfg.maxAttempts = 3;
+  TcpTransport client(map, {PeerAddr{"127.0.0.1", killer.port()}}, cfg);
+
+  std::size_t failedAttempts = 0;
+  client.call(wireRingKey(99),
+              request(dht::RpcKind::kGet, WireStore::encodeGet(99)),
+              [](const dht::RpcEnvelope&) { FAIL() << "unexpected reply"; },
+              [&failedAttempts](const dht::RpcEnvelope&,
+                                std::size_t attempts) {
+                failedAttempts = attempts;
+              });
+  client.drain();
+  EXPECT_EQ(failedAttempts, 3u);
+  EXPECT_EQ(client.deadLetterTotal(), 1u);
+  EXPECT_GE(killer.kills(), 1u);        // the torn frame really was seen
+  EXPECT_GE(client.reconnects(), 1u);   // and the pool replaced the conn
+}
+
+TEST(TcpTransport, ServerDropsOversizedClientFrame) {
+  TcpPeerServer server(/*maxFrameBytes=*/128);
+  const std::uint16_t port = server.start();
+  RingMap map(1);
+  TcpConfig cfg;
+  cfg.timeoutFloorMs = 5.0;
+  cfg.maxAttempts = 2;
+  cfg.maxFrameBytes = 1 << 20;  // client willingly sends a big frame
+  TcpTransport client(map, {PeerAddr{"127.0.0.1", port}}, cfg);
+
+  dht::RpcEnvelope big = request(dht::RpcKind::kGet, {});
+  big.payload.assign(4096, 0x55);  // over the server's 128-byte ceiling
+  std::size_t failed = 0;
+  client.call(wireRingKey(1), std::move(big),
+              [](const dht::RpcEnvelope&) { FAIL() << "unexpected reply"; },
+              [&failed](const dht::RpcEnvelope&, std::size_t) { ++failed; });
+  client.drain();
+  EXPECT_EQ(failed, 1u);
+  EXPECT_EQ(client.deadLetterTotal(), 1u);
+  server.stop();
+  EXPECT_GE(server.connsDropped(), 1u);
+  EXPECT_EQ(server.framesServed(), 0u);
+}
+
+}  // namespace
+}  // namespace mlight::transport

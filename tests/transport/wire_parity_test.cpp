@@ -1,0 +1,144 @@
+// Sim/TCP parity: the two transport backends must agree on ring
+// geometry (RingMap vs Network::responsible) and on every answer for
+// the same workload — the property that makes the simulator's
+// predictions meaningful for the measured wire run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dht/network.h"
+#include "store/wire_store.h"
+#include "transport/ring_map.h"
+#include "transport/sim_transport.h"
+#include "transport/tcp.h"
+
+namespace mlight::transport {
+namespace {
+
+using store::WireStore;
+using store::wireRingKey;
+
+TEST(RingMapParity, MatchesNetworkOwnershipExactly) {
+  for (const std::size_t vnodes : {std::size_t{1}, std::size_t{4}}) {
+    dht::Network net(12, /*seed=*/1, vnodes);
+    RingMap map(12, vnodes);
+    ASSERT_EQ(map.vnodeCount(), net.peers().size());
+    for (std::uint64_t k = 0; k < 5000; ++k) {
+      const dht::RingId key = wireRingKey(k);
+      const dht::RingId simOwner = net.responsible(key);
+      const dht::RingId wireOwner = map.responsible(key);
+      ASSERT_EQ(simOwner, wireOwner) << "key " << k;
+      ASSERT_EQ(net.physicalNameOf(simOwner),
+                "node:" + std::to_string(map.peerOf(wireOwner)))
+          << "key " << k;
+    }
+  }
+}
+
+/// Runs the canonical wire workload (batch inserts, point gets, range
+/// queries) through one Transport and returns every answer in issue
+/// order.
+struct Answers {
+  std::uint64_t stored = 0;
+  std::vector<std::uint64_t> getValues;
+  std::vector<WireStore::Record> rangeHits;
+  std::uint64_t deadLetters = 0;
+};
+
+template <typename RouteKeyFn>
+Answers runWorkload(Transport& t, std::size_t peers, RouteKeyFn peerKey) {
+  Answers a;
+  constexpr std::uint64_t kRecords = 256;
+  // Batched inserts, grouped by owner peer exactly like the bench.
+  std::vector<std::vector<WireStore::Record>> byPeer(peers);
+  for (std::uint64_t k = 0; k < kRecords; ++k) {
+    const std::size_t p = RingMap(peers).ownerPeer(wireRingKey(k));
+    byPeer[p].emplace_back(k, k ^ 0xABCDu);
+  }
+  for (std::size_t p = 0; p < peers; ++p) {
+    if (byPeer[p].empty()) continue;
+    dht::RpcEnvelope env;
+    env.kind = dht::RpcKind::kBatchPut;
+    env.payload = WireStore::encodeBatchPut(byPeer[p]);
+    t.call(wireRingKey(byPeer[p][0].first), std::move(env),
+           [&a](const dht::RpcEnvelope& resp) {
+             a.stored += WireStore::decodeBatchPutResponse(resp.payload);
+           },
+           nullptr);
+  }
+  t.drain();
+
+  for (std::uint64_t k = 0; k < kRecords; k += 7) {
+    dht::RpcEnvelope env;
+    env.kind = dht::RpcKind::kGet;
+    env.payload = WireStore::encodeGet(k);
+    t.call(wireRingKey(k), std::move(env),
+           [&a](const dht::RpcEnvelope& resp) {
+             a.getValues.push_back(
+                 WireStore::decodeGetResponse(resp.payload).value);
+           },
+           nullptr);
+    t.drain();  // serialize gets so answer order is issue order
+  }
+
+  for (std::size_t p = 0; p < peers; ++p) {
+    dht::RpcEnvelope env;
+    env.kind = dht::RpcKind::kVisit;
+    env.payload = WireStore::encodeRange(32, 95);
+    t.call(peerKey(p), std::move(env),
+           [&a](const dht::RpcEnvelope& resp) {
+             for (const auto& rec :
+                  WireStore::decodeRangeResponse(resp.payload)) {
+               a.rangeHits.push_back(rec);
+             }
+           },
+           nullptr);
+    t.drain();  // per-peer order: broadcast answers merge peer by peer
+  }
+  a.deadLetters = t.deadLetterTotal();
+  return a;
+}
+
+TEST(WireParity, SimAndTcpBackendsReturnIdenticalAnswers) {
+  constexpr std::size_t kPeers = 6;
+
+  SimTransport sim(kPeers);
+  const Answers simAnswers =
+      runWorkload(sim, kPeers,
+                  [&sim](std::size_t p) {
+                    return dht::keyId("peer-id:node:" + std::to_string(p) +
+                                      "#0");
+                  });
+
+  RingMap map(kPeers);
+  std::vector<TcpPeerServer> servers(kPeers);
+  std::vector<PeerAddr> addrs(kPeers);
+  for (std::size_t i = 0; i < kPeers; ++i) addrs[i].port = servers[i].start();
+  TcpConfig cfg;
+  cfg.timeoutFloorMs = 200.0;
+  TcpTransport tcp(map, addrs, cfg);
+  const Answers tcpAnswers =
+      runWorkload(tcp, kPeers,
+                  [&map](std::size_t p) { return map.firstVnode(p); });
+
+  EXPECT_EQ(simAnswers.stored, tcpAnswers.stored);
+  EXPECT_EQ(simAnswers.getValues, tcpAnswers.getValues);
+  EXPECT_EQ(simAnswers.rangeHits, tcpAnswers.rangeHits);
+  EXPECT_EQ(simAnswers.deadLetters, 0u);
+  EXPECT_EQ(tcpAnswers.deadLetters, 0u);
+
+  // And the records physically live on the peers the simulator placed
+  // them on.
+  for (std::size_t p = 0; p < kPeers; ++p) {
+    servers[p].stop();
+    EXPECT_EQ(servers[p].store().recordCount(),
+              sim.storeOf(p).recordCount())
+        << "peer " << p;
+  }
+}
+
+}  // namespace
+}  // namespace mlight::transport
